@@ -1,0 +1,37 @@
+// §4.1.2 ablation: oversubscription — the paper's acknowledged worst case
+// for POP, since a reclaimer must wait for descheduled threads to be
+// scheduled before they can publish. Sweeps thread counts well past the
+// core count on the HMHT update-heavy workload and reports how the POP
+// family degrades relative to the fence-based and epoch-based schemes.
+// (The handshake waits yield after a short spin, so a waiting reclaimer
+// donates its timeslice to the threads it is waiting on.)
+#include <thread>
+
+#include "driver.hpp"
+
+int main() {
+  using namespace pop::bench;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("# hardware threads: %u (counts beyond this are "
+              "oversubscribed)\n", cores);
+  const uint64_t dur = bench_duration_ms(150);
+
+  print_table_header(
+      "Ablation: oversubscription sweep, HMHT 16K update-heavy");
+  for (int t : {1, 2, 4, 8, 16, 32}) {
+    for (const char* smr :
+         {"HP", "HPAsym", "EBR", "HazardPtrPOP", "EpochPOP", "NBR"}) {
+      WorkloadConfig cfg;
+      cfg.ds = "HMHT";
+      cfg.smr = smr;
+      cfg.threads = t;
+      cfg.key_range = 16384;
+      cfg.pct_insert = 50;
+      cfg.pct_erase = 50;
+      cfg.duration_ms = dur;
+      cfg.smr_cfg.retire_threshold = 512;
+      print_row(cfg, run_workload(cfg));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,197 @@
+#include "driver.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/env.hpp"
+#include "runtime/padded.hpp"
+#include "runtime/proc_stats.hpp"
+#include "runtime/rng.hpp"
+
+namespace pop::bench {
+
+namespace {
+
+struct Counters {
+  uint64_t reads = 0;
+  uint64_t updates = 0;
+};
+
+}  // namespace
+
+WorkloadResult run_workload(const WorkloadConfig& cfg) {
+  ds::SetConfig sc;
+  sc.capacity = cfg.key_range;
+  sc.load_factor = cfg.load_factor;
+  sc.smr = cfg.smr_cfg;
+  auto set = ds::make_set(cfg.ds, cfg.smr, sc);
+  if (set == nullptr) {
+    std::fprintf(stderr, "unknown ds/smr: %s/%s\n", cfg.ds.c_str(),
+                 cfg.smr.c_str());
+    std::abort();
+  }
+
+  // Prefill to half the key range (paper §5.0.2): every other key keeps
+  // the fill deterministic across schemes so structures are comparable.
+  // Insertion *order* matters per structure: descending for lists (each
+  // key becomes the new minimum, found right after the head: O(1) per
+  // insert instead of O(n)); BFS-midpoint for the external BST (produces
+  // a balanced tree instead of a degenerate chain). The (a,b)-tree and
+  // hash table are insensitive, and take the midpoint order too.
+  const uint64_t prefill =
+      cfg.prefill == UINT64_MAX ? cfg.key_range / 2 : cfg.prefill;
+  const uint64_t nkeys = cfg.key_range / 2;  // even keys 0,2,4,...
+  uint64_t inserted = 0;
+  if (cfg.ds == "HML" || cfg.ds == "LL") {
+    for (uint64_t i = nkeys; i >= 1 && inserted < prefill; --i) {
+      inserted += set->insert((i - 1) * 2);
+    }
+  } else {
+    // BFS over index ranges: insert the middle even key of each segment.
+    std::vector<std::pair<uint64_t, uint64_t>> queue_;
+    queue_.reserve(64);
+    queue_.emplace_back(0, nkeys);
+    for (size_t qi = 0; qi < queue_.size() && inserted < prefill; ++qi) {
+      const auto [lo, hi] = queue_[qi];
+      if (lo >= hi) continue;
+      const uint64_t mid = lo + (hi - lo) / 2;
+      inserted += set->insert(mid * 2);
+      queue_.emplace_back(lo, mid);
+      queue_.emplace_back(mid + 1, hi);
+    }
+  }
+  // Odd keys (still balanced enough) if a caller asked for more than half.
+  for (uint64_t k = 1; k < cfg.key_range && inserted < prefill; k += 2) {
+    inserted += set->insert(k);
+  }
+  set->detach_thread();
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::vector<runtime::Padded<Counters>> counts(cfg.threads);
+
+  const int writers_from =
+      cfg.split_readers_writers ? cfg.threads / 2 : cfg.threads;
+
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+  for (int w = 0; w < cfg.threads; ++w) {
+    workers.emplace_back([&, w] {
+      runtime::Xoshiro256 rng(0x9E3779B9ull * (w + 1) + 12345);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      auto& my = *counts[w];
+      if (cfg.split_readers_writers && w < writers_from) {
+        // Dedicated reader (Figure 4): full-range contains only.
+        while (!stop.load(std::memory_order_relaxed)) {
+          (void)set->contains(rng.next_below(cfg.key_range));
+          ++my.reads;
+        }
+      } else if (cfg.split_readers_writers) {
+        // Dedicated updater near the head of the structure.
+        while (!stop.load(std::memory_order_relaxed)) {
+          const uint64_t k = rng.next_below(cfg.writer_key_range);
+          if (rng.percent(50)) {
+            (void)set->insert(k);
+          } else {
+            (void)set->erase(k);
+          }
+          ++my.updates;
+        }
+      } else {
+        while (!stop.load(std::memory_order_relaxed)) {
+          const uint64_t k = rng.next_below(cfg.key_range);
+          const uint64_t dice = rng.next_below(100);
+          if (dice < cfg.pct_insert) {
+            (void)set->insert(k);
+            ++my.updates;
+          } else if (dice < cfg.pct_insert + cfg.pct_erase) {
+            (void)set->erase(k);
+            ++my.updates;
+          } else {
+            (void)set->contains(k);
+            ++my.reads;
+          }
+        }
+      }
+      set->detach_thread();
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  WorkloadResult r;
+  for (int w = 0; w < cfg.threads; ++w) {
+    r.reads_total += counts[w]->reads;
+    r.updates_total += counts[w]->updates;
+  }
+  r.ops_total = r.reads_total + r.updates_total;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.mops = static_cast<double>(r.ops_total) / r.seconds / 1e6;
+  r.read_mops = static_cast<double>(r.reads_total) / r.seconds / 1e6;
+  r.smr = set->smr_stats();
+  r.vm_hwm_kib = runtime::vm_hwm_kib();
+  r.final_size = set->size_slow();
+  return r;
+}
+
+void print_table_header(const std::string& title) {
+  std::printf("\n# %s\n", title.c_str());
+  std::printf("%-5s %-13s %3s %8s %9s %9s %10s %11s %9s %8s %11s\n", "ds",
+              "smr", "thr", "Mops", "readMops", "maxRetire", "unreclaimed",
+              "VmHWM(KiB)", "signals", "pings", "neutralized");
+  std::fflush(stdout);
+}
+
+void print_row(const WorkloadConfig& cfg, const WorkloadResult& r) {
+  std::printf(
+      "%-5s %-13s %3d %8.3f %9.3f %9llu %10llu %11llu %9llu %8llu %11llu\n",
+      cfg.ds.c_str(), cfg.smr.c_str(), cfg.threads, r.mops, r.read_mops,
+      static_cast<unsigned long long>(r.smr.max_retire_len),
+      static_cast<unsigned long long>(r.smr.unreclaimed()),
+      static_cast<unsigned long long>(r.vm_hwm_kib),
+      static_cast<unsigned long long>(r.smr.signals_sent),
+      static_cast<unsigned long long>(r.smr.pings_received),
+      static_cast<unsigned long long>(r.smr.neutralized));
+  std::fflush(stdout);
+}
+
+std::vector<int> bench_thread_list(const std::string& fallback) {
+  const std::string raw = runtime::env_str("POPSMR_BENCH_THREADS", fallback);
+  std::vector<int> out;
+  std::stringstream ss(raw);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    const int v = std::atoi(tok.c_str());
+    if (v > 0) out.push_back(v);
+  }
+  if (out.empty()) out.push_back(2);
+  return out;
+}
+
+std::vector<std::string> bench_smr_list() {
+  const std::string raw = runtime::env_str("POPSMR_BENCH_SMRS", "");
+  if (raw.empty()) return ds::all_smr_names();
+  std::vector<std::string> out;
+  std::stringstream ss(raw);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+uint64_t bench_duration_ms(uint64_t fallback) {
+  return runtime::env_u64("POPSMR_BENCH_DURATION_MS", fallback);
+}
+
+}  // namespace pop::bench

@@ -1,0 +1,68 @@
+// Benchmark driver: re-implementation of the NBR(+) benchmark methodology
+// the paper uses (§5.0.2): prefill the structure to half its key range,
+// then run a timed phase of randomly chosen insert/delete/contains
+// operations with uniformly random keys, reporting throughput and memory
+// metrics per (data structure, scheme, thread count) cell.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ds/iset.hpp"
+#include "smr/smr_config.hpp"
+
+namespace pop::bench {
+
+struct WorkloadConfig {
+  std::string ds = "HML";
+  std::string smr = "NR";
+  int threads = 2;
+  uint64_t key_range = 2048;
+  // Keys prefilled before the timed phase (default: key_range / 2).
+  uint64_t prefill = UINT64_MAX;
+  // Operation mix in percent; the remainder is contains().
+  uint32_t pct_insert = 25;
+  uint32_t pct_erase = 25;
+  uint64_t duration_ms = 200;
+  double load_factor = 6.0;  // hash table only
+  smr::SmrConfig smr_cfg;
+
+  // Long-running-reads mode (Figure 4): half the threads only run
+  // contains() over the full key range; the other half update keys near
+  // the head of the structure, in [0, writer_key_range).
+  bool split_readers_writers = false;
+  uint64_t writer_key_range = 64;
+};
+
+struct WorkloadResult {
+  uint64_t ops_total = 0;
+  uint64_t reads_total = 0;
+  uint64_t updates_total = 0;
+  double mops = 0;        // total million ops/second
+  double read_mops = 0;   // contains() throughput only
+  double seconds = 0;
+  smr::StatsSnapshot smr;
+  uint64_t vm_hwm_kib = 0;
+  uint64_t final_size = 0;
+};
+
+// Builds the set, prefills, runs the timed phase, joins, snapshots stats.
+WorkloadResult run_workload(const WorkloadConfig& cfg);
+
+// ---- table printing -------------------------------------------------------
+
+// Prints "# <title>" followed by the standard column header.
+void print_table_header(const std::string& title);
+
+// Prints one row for `cfg`/`r` in the standard column layout.
+void print_row(const WorkloadConfig& cfg, const WorkloadResult& r);
+
+// Shared environment knobs (every figure binary honours these):
+//   POPSMR_BENCH_DURATION_MS  per-cell duration    (default per figure)
+//   POPSMR_BENCH_THREADS      comma list, e.g. "1,2,4"
+//   POPSMR_BENCH_SMRS         comma list of scheme names
+std::vector<int> bench_thread_list(const std::string& fallback);
+std::vector<std::string> bench_smr_list();
+uint64_t bench_duration_ms(uint64_t fallback);
+
+}  // namespace pop::bench

@@ -1,0 +1,43 @@
+// Figure 1 (a,b,c): update-heavy workload (50% insert / 50% delete) on
+// DGT, HMHT and ABT — throughput and max retire-list size per scheme and
+// thread count.
+//
+// Paper setup: DGT 200K, HMHT 6M, ABT 20M keys, 1..288 threads, 5 s runs,
+// retire threshold 24K, on a 144-thread Cascade Lake. This container has
+// one core, so the defaults are scaled (sizes /~25, threads {1,2,4},
+// 200 ms cells, threshold 512); shapes — who wins, who pays fences, whose
+// retire lists stay small — are what to compare. Override with
+// POPSMR_BENCH_{THREADS,SMRS,DURATION_MS}.
+#include "driver.hpp"
+
+int main() {
+  using namespace pop::bench;
+  struct DsCase {
+    const char* ds;
+    uint64_t range;
+  };
+  const DsCase cases[] = {{"DGT", 8192}, {"HMHT", 16384}, {"ABT", 65536}};
+  const auto threads = bench_thread_list("1,2,4");
+  const auto smrs = bench_smr_list();
+  const uint64_t dur = bench_duration_ms(200);
+
+  for (const auto& c : cases) {
+    print_table_header(std::string("Figure 1: update-heavy 50i/50d, ") +
+                       c.ds + " size " + std::to_string(c.range / 2));
+    for (int t : threads) {
+      for (const auto& smr : smrs) {
+        WorkloadConfig cfg;
+        cfg.ds = c.ds;
+        cfg.smr = smr;
+        cfg.threads = t;
+        cfg.key_range = c.range;
+        cfg.pct_insert = 50;
+        cfg.pct_erase = 50;
+        cfg.duration_ms = dur;
+        cfg.smr_cfg.retire_threshold = 512;
+        print_row(cfg, run_workload(cfg));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 2 (a,b): update-heavy workload (50% insert / 50% delete) on the
+// Harris-Michael list and the lazy list, size 2K — the paper's
+// list-traversal stress where per-read fences dominate.
+//
+// Scaled to this container (see fig1 header comment); override with
+// POPSMR_BENCH_{THREADS,SMRS,DURATION_MS}.
+#include "driver.hpp"
+
+int main() {
+  using namespace pop::bench;
+  const char* dss[] = {"HML", "LL"};
+  const auto threads = bench_thread_list("1,2,4");
+  const auto smrs = bench_smr_list();
+  const uint64_t dur = bench_duration_ms(200);
+
+  for (const char* ds : dss) {
+    print_table_header(std::string("Figure 2: update-heavy 50i/50d, ") + ds +
+                       " size 1K (range 2K)");
+    for (int t : threads) {
+      for (const auto& smr : smrs) {
+        WorkloadConfig cfg;
+        cfg.ds = ds;
+        cfg.smr = smr;
+        cfg.threads = t;
+        cfg.key_range = 2048;  // paper's list size
+        cfg.pct_insert = 50;
+        cfg.pct_erase = 50;
+        cfg.duration_ms = dur;
+        cfg.smr_cfg.retire_threshold = 512;
+        print_row(cfg, run_workload(cfg));
+      }
+    }
+  }
+  return 0;
+}

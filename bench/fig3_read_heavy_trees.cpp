@@ -1,0 +1,39 @@
+// Figure 3 (a,b): read-heavy workload (90% contains / 5% insert /
+// 5% delete) on ABT and DGT — the regime where eager reservation
+// publishing hurts most: reclamation is rare but HP/HE still fence on
+// every read, while the POP family reads fence-free.
+//
+// Scaled to this container; override with POPSMR_BENCH_* (see fig1).
+#include "driver.hpp"
+
+int main() {
+  using namespace pop::bench;
+  struct DsCase {
+    const char* ds;
+    uint64_t range;
+  };
+  const DsCase cases[] = {{"ABT", 65536}, {"DGT", 8192}};
+  const auto threads = bench_thread_list("1,2,4");
+  const auto smrs = bench_smr_list();
+  const uint64_t dur = bench_duration_ms(200);
+
+  for (const auto& c : cases) {
+    print_table_header(std::string("Figure 3: read-heavy 90c/5i/5d, ") +
+                       c.ds + " size " + std::to_string(c.range / 2));
+    for (int t : threads) {
+      for (const auto& smr : smrs) {
+        WorkloadConfig cfg;
+        cfg.ds = c.ds;
+        cfg.smr = smr;
+        cfg.threads = t;
+        cfg.key_range = c.range;
+        cfg.pct_insert = 5;
+        cfg.pct_erase = 5;
+        cfg.duration_ms = dur;
+        cfg.smr_cfg.retire_threshold = 512;
+        print_row(cfg, run_workload(cfg));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 4: long-running reads on HML. Half the threads run full-range
+// searches (long traversals), half update keys near the head; the retire
+// threshold is deliberately tiny so reclamation — and therefore NBR's
+// neutralization signals — fire constantly.
+//
+// The paper's result: NBR+'s read throughput collapses (readers restart
+// from the head on every reclaim) while the POP algorithms keep reading,
+// since a pinged POP reader just publishes and continues. We report the
+// read-throughput *ratio to NR* per list size, plus the restart count.
+//
+// Paper setup: sizes 10K..800K, 96+96 threads, threshold 2K. Scaled here
+// to sizes {10K,50K,100K}, 2+2 threads, threshold 64 (override with
+// POPSMR_BENCH_RETIRE_THRESHOLD): with 2 updaters instead of 96 the
+// threshold must shrink proportionally for reclaim rounds to hit each
+// long-running read more than once, which is the effect Figure 4 shows.
+//
+// Reading the ratio column on a 1-core host: NR's unbounded garbage
+// pollutes the cache and its updaters never pause to reclaim, so NR's
+// *reader* throughput is not the fastest here; the paper's comparison to
+// take away is POP-family vs NBR as reads get longer, and NBR's restart
+// count.
+#include "driver.hpp"
+
+#include <map>
+
+#include "runtime/env.hpp"
+
+int main() {
+  using namespace pop::bench;
+  std::vector<uint64_t> sizes = {10'000, 50'000, 100'000};
+  if (const uint64_t s = pop::runtime::env_u64("POPSMR_BENCH_LIST_SIZE", 0);
+      s != 0) {
+    sizes = {s};
+  }
+  const auto smrs = bench_smr_list();
+  const uint64_t dur = bench_duration_ms(300);
+  const uint64_t threshold =
+      pop::runtime::env_u64("POPSMR_BENCH_RETIRE_THRESHOLD", 64);
+  const int threads = static_cast<int>(bench_thread_list("4").front());
+
+  print_table_header(
+      "Figure 4: long-running reads, HML; half readers (full-range "
+      "contains), half head-updaters; tiny retire threshold");
+  std::printf("%-8s %-13s %10s %12s %11s\n", "size", "smr", "readMops",
+              "ratio-to-NR", "neutralized");
+
+  for (uint64_t size : sizes) {
+    // NR first: the denominator for the ratio column.
+    std::map<std::string, WorkloadResult> results;
+    double nr_read_mops = 0;
+    for (const auto& smr : smrs) {
+      WorkloadConfig cfg;
+      cfg.ds = "HML";
+      cfg.smr = smr;
+      cfg.threads = threads;
+      cfg.key_range = size;
+      cfg.split_readers_writers = true;
+      cfg.writer_key_range = 64;  // updates near the head
+      cfg.duration_ms = dur;
+      cfg.smr_cfg.retire_threshold = threshold;  // paper: 2K (scaled)
+      results[smr] = run_workload(cfg);
+      if (smr == "NR") nr_read_mops = results[smr].read_mops;
+    }
+    if (nr_read_mops <= 0) nr_read_mops = 1e-9;
+    for (const auto& smr : smrs) {
+      const auto& r = results[smr];
+      std::printf("%-8llu %-13s %10.4f %12.3f %11llu\n",
+                  static_cast<unsigned long long>(size), smr.c_str(),
+                  r.read_mops, r.read_mops / nr_read_mops,
+                  static_cast<unsigned long long>(r.smr.neutralized));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Appendix Figures 5-9: for every data structure, update-heavy and
+// read-heavy mixes with the full memory metrics the appendix plots —
+// throughput, max resident memory (VmHWM) and total unreclaimed nodes.
+//
+// Scaled to this container; override with POPSMR_BENCH_* (see fig1).
+// Note VmHWM is a process-lifetime high-watermark: compare rows within
+// one scheme sweep qualitatively, or run single cells via the env knobs
+// for exact numbers.
+#include "driver.hpp"
+
+int main() {
+  using namespace pop::bench;
+  struct DsCase {
+    const char* ds;
+    uint64_t range;
+    const char* fig;
+  };
+  const DsCase cases[] = {{"ABT", 65536, "Figure 5"},
+                          {"DGT", 8192, "Figure 6"},
+                          {"HMHT", 16384, "Figure 7"},
+                          {"HML", 2048, "Figure 8"},
+                          {"LL", 2048, "Figure 9"}};
+  struct Mix {
+    const char* name;
+    uint32_t ins, del;
+  };
+  const Mix mixes[] = {{"update-heavy 50i/50d", 50, 50},
+                       {"read-heavy 5i/5d/90c", 5, 5}};
+  const auto threads = bench_thread_list("2,4");
+  const auto smrs = bench_smr_list();
+  const uint64_t dur = bench_duration_ms(150);
+
+  for (const auto& c : cases) {
+    for (const auto& m : mixes) {
+      print_table_header(std::string(c.fig) + ": " + c.ds + ", " + m.name +
+                         " (throughput / VmHWM / unreclaimed)");
+      for (int t : threads) {
+        for (const auto& smr : smrs) {
+          WorkloadConfig cfg;
+          cfg.ds = c.ds;
+          cfg.smr = smr;
+          cfg.threads = t;
+          cfg.key_range = c.range;
+          cfg.pct_insert = m.ins;
+          cfg.pct_erase = m.del;
+          cfg.duration_ms = dur;
+          cfg.smr_cfg.retire_threshold = 512;
+          print_row(cfg, run_workload(cfg));
+        }
+      }
+    }
+  }
+  return 0;
+}

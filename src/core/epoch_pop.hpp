@@ -1,0 +1,176 @@
+// EpochPOP — epoch-based reclamation with a publish-on-ping fallback
+// (paper Algorithm 3). The paper's headline hybrid: EBR speed in the
+// common case, hazard-pointer robustness when threads stall.
+//
+// Threads run classic EBR (announce epoch on entry, quiesce on exit) and
+// *simultaneously* track hazard-pointer-style reservations privately, via
+// the fence-free read of HazardPtrPOP. Reclamation:
+//
+//   every retire_threshold retires  -> EBR-mode sweep (free nodes retired
+//                                      before the min announced epoch);
+//   list still >= C*retire_threshold -> a thread delay is suspected: run
+//                                      the POP handshake and free every
+//                                      node not in the published
+//                                      reservations, ignoring epochs.
+//
+// There is no global mode switch (contrast Qsense): one thread can be
+// reclaiming in EBR mode while another pings — reclaimers act
+// independently, which is exactly Algorithm 3's structure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/pop_engine.hpp"
+#include "smr/domain_base.hpp"
+#include "smr/tagged.hpp"
+
+namespace pop::core {
+
+class EpochPopDomain {
+ public:
+  static constexpr const char* kName = "EpochPOP";
+  static constexpr bool kNeutralizes = false;
+  using Guard = smr::OpGuard<EpochPopDomain>;
+  static constexpr uint64_t kQuiescent = UINT64_MAX;
+
+  explicit EpochPopDomain(const smr::SmrConfig& cfg = {})
+      : core_(cfg), engine_(cfg.num_slots) {}
+
+  void attach() {
+    const int tid = runtime::my_tid();
+    if (core_.attach_if_new(tid)) {
+      reserved_epoch_[tid]->store(kQuiescent, std::memory_order_release);
+      engine_.attach(tid);
+    }
+  }
+  void detach() {
+    const int tid = runtime::my_tid();
+    reserved_epoch_[tid]->store(kQuiescent, std::memory_order_release);
+    engine_.detach(tid);
+    core_.mark_detached(tid);
+  }
+
+  // Algorithm 3 startOp().
+  void begin_op() {
+    attach();
+    const int tid = runtime::my_tid();
+    if (++op_counter_[tid]->v % core_.config().epoch_freq == 0) {
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    reserved_epoch_[tid]->store(epoch_.load(std::memory_order_acquire),
+                                std::memory_order_seq_cst);
+  }
+
+  // Algorithm 3 endOp(): announce quiescence and drop local reservations.
+  void end_op() {
+    const int tid = runtime::my_tid();
+    reserved_epoch_[tid]->store(kQuiescent, std::memory_order_release);
+    engine_.clear_local(tid);
+  }
+
+  // Algorithm 3 read(): the fence-free private reservation of
+  // HazardPtrPOP, maintained alongside the epoch announcement.
+  template <class T>
+  T* protect(int slot, const std::atomic<T*>& src) {
+    const int tid = runtime::my_tid();
+    T* p = src.load(std::memory_order_acquire);
+    for (;;) {
+      engine_.reserve_local(
+          tid, slot, reinterpret_cast<uintptr_t>(smr::strip_mark(p)));
+      T* q = src.load(std::memory_order_acquire);
+      if (q == p) return p;
+      p = q;
+    }
+  }
+
+  void copy_slot(int dst, int src) {
+    const int tid = runtime::my_tid();
+    engine_.reserve_local(tid, dst, engine_.local_value(tid, src));
+  }
+
+  void clear() { engine_.clear_local(runtime::my_tid()); }
+
+  template <class T, class... Args>
+  T* create(Args&&... args) {
+    return core_.create_node<T>(epoch_.load(std::memory_order_acquire),
+                                std::forward<Args>(args)...);
+  }
+
+  // Algorithm 3 retire().
+  void retire(smr::Reclaimable* n) {
+    const int tid = runtime::my_tid();
+    const uint64_t e = epoch_.load(std::memory_order_acquire);
+    const uint64_t len = core_.retire_push(tid, n, e);
+    const auto& cfg = core_.config();
+    if (len % cfg.retire_threshold == 0) {
+      reclaim_epoch_freeable(tid);
+    }
+    if (core_.retire_list(tid).length() >=
+        cfg.pop_multiplier * cfg.retire_threshold) {
+      reclaim_pop(tid);  // a delayed thread is suspected
+    }
+  }
+
+  void enter_write_phase(std::initializer_list<const smr::Reclaimable*> = {}) {
+  }
+  void exit_write_phase() {}
+
+  smr::StatsSnapshot stats() const { return core_.stats_snapshot(); }
+  const smr::SmrConfig& config() const { return core_.config(); }
+  uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  PopEngine& engine() { return engine_; }
+
+ private:
+  // Algorithm 3 reclaimEpochFreeable(): classic EBR sweep.
+  void reclaim_epoch_freeable(int tid) {
+    uint64_t min_reserved = kQuiescent;
+    const int hi = runtime::ThreadRegistry::instance().max_tid();
+    for (int t = 0; t <= hi; ++t) {
+      const uint64_t r = reserved_epoch_[t]->load(std::memory_order_acquire);
+      if (r < min_reserved) min_reserved = r;
+    }
+    auto& st = core_.stats(tid);
+    st.scans += 1;
+    const uint64_t freed =
+        core_.retire_list(tid).sweep([&](smr::Reclaimable* node) {
+          return node->retire_era < min_reserved;
+        });
+    st.freed += freed;
+    st.ebr_frees += freed;
+  }
+
+  // Algorithm 3 lines 27-30: the POP fallback. Frees everything not in
+  // the published hazard reservations, ignoring epochs entirely — safe
+  // because every access is preceded by a validated (private) reservation.
+  void reclaim_pop(int tid) {
+    auto& st = core_.stats(tid);
+    st.signals_sent +=
+        static_cast<uint64_t>(engine_.ping_all_and_wait(tid));
+    uintptr_t reserved[runtime::kMaxThreads * smr::kMaxSlots];
+    const int n = engine_.collect_shared(reserved);
+    st.scans += 1;
+    const uint64_t freed =
+        core_.retire_list(tid).sweep([&](smr::Reclaimable* node) {
+          return !smr::SlotTable::contains(reserved, n,
+                                           reinterpret_cast<uintptr_t>(node));
+        });
+    st.freed += freed;
+    st.pop_frees += freed;
+    st.pings_received = engine_.pings_received(tid);
+  }
+
+  struct Counter {
+    uint64_t v = 0;
+  };
+
+  smr::DomainCore core_;
+  PopEngine engine_;
+  std::atomic<uint64_t> epoch_{1};
+  runtime::Padded<std::atomic<uint64_t>> reserved_epoch_[runtime::kMaxThreads];
+  runtime::Padded<Counter> op_counter_[runtime::kMaxThreads];
+};
+
+}  // namespace pop::core

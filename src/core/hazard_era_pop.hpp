@@ -1,0 +1,113 @@
+// HazardEraPOP — hazard eras with publish-on-ping (paper Algorithm 5,
+// Appendix B.2). Same interface as HE; the read path reserves the current
+// era *privately* (no fence even when the era changes). On a reclaimer's
+// ping the handler publishes the reserved eras; the reclaimer then frees
+// every retired node whose lifespan [birth_era, retire_era] intersects no
+// published era.
+//
+// Safety is Property 6: a reader that reserved era e before the handshake
+// has e published when the reclaimer scans; a reader that reserves after
+// the handshake observes an era >= the victim's retire era bump, so its
+// reservation cannot intersect the victim's lifespan retroactively.
+#pragma once
+
+#include <atomic>
+
+#include "core/pop_engine.hpp"
+#include "smr/domain_base.hpp"
+#include "smr/tagged.hpp"
+
+namespace pop::core {
+
+class HazardEraPopDomain {
+ public:
+  static constexpr const char* kName = "HazardEraPOP";
+  static constexpr bool kNeutralizes = false;
+  using Guard = smr::OpGuard<HazardEraPopDomain>;
+
+  explicit HazardEraPopDomain(const smr::SmrConfig& cfg = {})
+      : core_(cfg), engine_(cfg.num_slots) {}
+
+  void attach() {
+    const int tid = runtime::my_tid();
+    if (core_.attach_if_new(tid)) engine_.attach(tid);
+  }
+  void detach() {
+    const int tid = runtime::my_tid();
+    engine_.detach(tid);
+    core_.mark_detached(tid);
+  }
+
+  void begin_op() { attach(); }
+  void end_op() { clear(); }
+
+  // Algorithm 5 read(): era reservation without the publish fence.
+  template <class T>
+  T* protect(int slot, const std::atomic<T*>& src) {
+    const int tid = runtime::my_tid();
+    uintptr_t prev = engine_.local_value(tid, slot);
+    for (;;) {
+      T* p = src.load(std::memory_order_acquire);
+      const uint64_t e = era_.load(std::memory_order_acquire);
+      if (e == prev) return p;
+      engine_.reserve_local(tid, slot, e);  // no store-load fence needed
+      prev = e;
+    }
+  }
+
+  void copy_slot(int dst, int src) {
+    const int tid = runtime::my_tid();
+    engine_.reserve_local(tid, dst, engine_.local_value(tid, src));
+  }
+
+  void clear() { engine_.clear_local(runtime::my_tid()); }
+
+  template <class T, class... Args>
+  T* create(Args&&... args) {
+    return core_.create_node<T>(era_.load(std::memory_order_acquire),
+                                std::forward<Args>(args)...);
+  }
+
+  void retire(smr::Reclaimable* n) {
+    const int tid = runtime::my_tid();
+    const uint64_t e = era_.load(std::memory_order_acquire);
+    core_.retire_push(tid, n, e);
+    // Tick-based trigger (see HazardPtrPOP::retire). Essential here: a
+    // reserved era pins *every* node whose lifespan intersects it — e.g.
+    // all prefill-born nodes — so the list length legitimately sits above
+    // the threshold and a length trigger would ping on every retire.
+    if (core_.retire_tick(tid) % core_.config().retire_threshold == 0) {
+      era_.fetch_add(1, std::memory_order_acq_rel);
+      reclaim(tid);
+    }
+  }
+
+  void enter_write_phase(std::initializer_list<const smr::Reclaimable*> = {}) {
+  }
+  void exit_write_phase() {}
+
+  smr::StatsSnapshot stats() const { return core_.stats_snapshot(); }
+  const smr::SmrConfig& config() const { return core_.config(); }
+  uint64_t current_era() const { return era_.load(std::memory_order_acquire); }
+
+ private:
+  void reclaim(int tid) {
+    auto& st = core_.stats(tid);
+    st.signals_sent +=
+        static_cast<uint64_t>(engine_.ping_all_and_wait(tid));
+    uintptr_t eras[runtime::kMaxThreads * smr::kMaxSlots];
+    const int n = engine_.collect_shared(eras);  // sorted
+    st.scans += 1;
+    st.freed += core_.retire_list(tid).sweep([&](smr::Reclaimable* node) {
+      const uintptr_t* lo = std::lower_bound(eras, eras + n, node->birth_era);
+      return lo == eras + n || *lo > node->retire_era;
+    });
+    st.pings_received = engine_.pings_received(tid);
+  }
+
+  smr::DomainCore core_;
+  PopEngine engine_;                 // slot values are eras
+  std::atomic<uint64_t> era_{1};
+};
+
+}  // namespace pop::core

@@ -1,0 +1,117 @@
+// HazardPtrPOP — hazard pointers with publish-on-ping (paper Algorithms
+// 1 and 2). Drop-in replacement for HP: identical interface, identical
+// per-thread reservation bound, but the read path performs no fence —
+// reservations stay private until a reclaimer pings.
+//
+//   read():   repeat { p = *src; local[slot] = p } until p == *src
+//   retire(): append; at threshold: collect counters, ping all, wait,
+//             then free every retired node absent from the published
+//             (shared) reservations.
+//
+// Safety (paper Property 2): when the reclaimer scans, every reservation
+// made before the ping handshake completed is visible; a reservation made
+// after must have validated its source pointer *after* the node was
+// unlinked, so it cannot name a node in this reclaimer's retire list.
+// Robustness (Property 3): at most threshold + N*H nodes are unreclaimed.
+#pragma once
+
+#include <atomic>
+
+#include "core/pop_engine.hpp"
+#include "smr/domain_base.hpp"
+#include "smr/tagged.hpp"
+
+namespace pop::core {
+
+class HazardPtrPopDomain {
+ public:
+  static constexpr const char* kName = "HazardPtrPOP";
+  static constexpr bool kNeutralizes = false;
+  using Guard = smr::OpGuard<HazardPtrPopDomain>;
+
+  explicit HazardPtrPopDomain(const smr::SmrConfig& cfg = {})
+      : core_(cfg), engine_(cfg.num_slots) {}
+
+  void attach() {
+    const int tid = runtime::my_tid();
+    if (core_.attach_if_new(tid)) engine_.attach(tid);
+  }
+  void detach() {
+    const int tid = runtime::my_tid();
+    engine_.detach(tid);
+    core_.mark_detached(tid);
+  }
+
+  void begin_op() { attach(); }
+  void end_op() { clear(); }
+
+  // The paper's read(): private reservation + source revalidation, no
+  // fence ("no store load fence needed", Alg. 1 line 12).
+  template <class T>
+  T* protect(int slot, const std::atomic<T*>& src) {
+    const int tid = runtime::my_tid();
+    T* p = src.load(std::memory_order_acquire);
+    for (;;) {
+      engine_.reserve_local(
+          tid, slot, reinterpret_cast<uintptr_t>(smr::strip_mark(p)));
+      T* q = src.load(std::memory_order_acquire);
+      if (q == p) return p;
+      p = q;
+    }
+  }
+
+  void copy_slot(int dst, int src) {
+    const int tid = runtime::my_tid();
+    engine_.reserve_local(tid, dst, engine_.local_value(tid, src));
+  }
+
+  void clear() { engine_.clear_local(runtime::my_tid()); }
+
+  template <class T, class... Args>
+  T* create(Args&&... args) {
+    return core_.create_node<T>(0, std::forward<Args>(args)...);
+  }
+
+  void retire(smr::Reclaimable* n) {
+    const int tid = runtime::my_tid();
+    core_.retire_push(tid, n, 0);
+    // Tick-based trigger: one handshake per `retire_threshold` retires.
+    // A length-based trigger would re-ping on every retire while the list
+    // holds reserved (unfreeable) nodes — a signal storm.
+    if (core_.retire_tick(tid) % core_.config().retire_threshold == 0) {
+      reclaim(tid);
+    }
+  }
+
+  void enter_write_phase(std::initializer_list<const smr::Reclaimable*> = {}) {
+  }
+  void exit_write_phase() {}
+
+  smr::StatsSnapshot stats() const { return core_.stats_snapshot(); }
+  const smr::SmrConfig& config() const { return core_.config(); }
+  PopEngine& engine() { return engine_; }
+
+ private:
+  void reclaim(int tid) {
+    auto& st = core_.stats(tid);
+    st.signals_sent +=
+        static_cast<uint64_t>(engine_.ping_all_and_wait(tid));
+    uintptr_t reserved[runtime::kMaxThreads * smr::kMaxSlots];
+    const int n = engine_.collect_shared(reserved);
+    st.scans += 1;
+    st.freed += core_.retire_list(tid).sweep([&](smr::Reclaimable* node) {
+      return !smr::SlotTable::contains(reserved, n,
+                                       reinterpret_cast<uintptr_t>(node));
+    });
+    sync_ping_stats(st, tid);
+  }
+
+  void sync_ping_stats(smr::ThreadStats& st, int tid) {
+    st.pings_received = engine_.pings_received(tid);
+  }
+
+  smr::DomainCore core_;
+  PopEngine engine_;
+};
+
+}  // namespace pop::core

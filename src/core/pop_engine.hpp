@@ -1,0 +1,200 @@
+// PopEngine — the publish-on-ping machinery shared by HazardPtrPOP,
+// HazardEraPOP and EpochPOP (paper §3, Algorithms 1-3, 5).
+//
+// Readers record reservations in *private* per-thread slots with plain
+// (relaxed-atomic) stores: no fence, no cache-line transfer on the read
+// path. When a reclaimer wants to scan, it executes the handshake of
+// Algorithm 2:
+//
+//   collectPublishedCounters();   // snapshot every thread's SWMR counter
+//   pingAllToPublish();           // pthread_kill to all attached threads
+//   waitForAllPublished();        // spin until every counter advances
+//
+// Each pinged thread's signal handler copies its private slots to shared
+// SWMR slots, issues one seq_cst fence, and increments its publish
+// counter. Once every attached thread's counter has advanced past the
+// snapshot, all reservations that existed before the ping are visible,
+// and the reclaimer may free any retired node not found in the shared
+// slots (pointer mode) or whose lifespan intersects no published era (era
+// mode). Concurrent reclaimers coalesce: a single publish satisfies every
+// waiter whose snapshot predates it.
+//
+// Private slots are lock-free std::atomic<uintptr_t> accessed with relaxed
+// ordering — plain machine stores, and the only data shared with the
+// (same-thread, asynchronous) signal handler, which makes the handler
+// async-signal-safe by [intro.execution]/support.signal rules.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/backoff.hpp"
+#include "runtime/padded.hpp"
+#include "runtime/signal_bus.hpp"
+#include "runtime/thread_registry.hpp"
+#include "smr/hp_slots.hpp"
+#include "smr/smr_config.hpp"
+
+namespace pop::core {
+
+class PopEngine final : public runtime::SignalClient {
+ public:
+  explicit PopEngine(int num_slots) : num_slots_(num_slots) {}
+
+  ~PopEngine() {
+    // Threads must have detached; defensively unhook the signal bus for
+    // the calling thread (worker threads detach via domain detach()).
+    runtime::SignalBus::instance().detach(this);
+  }
+
+  // ---- thread lifecycle --------------------------------------------------
+
+  void attach(int tid) {
+    for (int s = 0; s < num_slots_; ++s) {
+      local(tid, s).store(0, std::memory_order_relaxed);
+      shared_.at(tid, s).store(0, std::memory_order_release);
+    }
+    pt_[tid]->registry_epoch =
+        runtime::ThreadRegistry::instance().slot_epoch(tid);
+    pt_[tid]->attached.store(true, std::memory_order_seq_cst);
+    runtime::SignalBus::instance().attach(this);
+  }
+
+  void detach(int tid) {
+    for (int s = 0; s < num_slots_; ++s) {
+      local(tid, s).store(0, std::memory_order_relaxed);
+      shared_.at(tid, s).store(0, std::memory_order_release);
+    }
+    // Unblock any reclaimer currently waiting on this thread.
+    pt_[tid]->publish_counter.fetch_add(1, std::memory_order_release);
+    pt_[tid]->attached.store(false, std::memory_order_release);
+    runtime::SignalBus::instance().detach(this);
+  }
+
+  bool attached(int tid) const {
+    return pt_[tid]->attached.load(std::memory_order_acquire);
+  }
+
+  // ---- reader fast path ----------------------------------------------------
+
+  // Private reservation: a plain store. The paper's read() loop lives in
+  // the domain (it also revalidates the source pointer).
+  void reserve_local(int tid, int slot, uintptr_t v) {
+    local(tid, slot).store(v, std::memory_order_relaxed);
+  }
+
+  uintptr_t local_value(int tid, int slot) const {
+    return local(tid, slot).load(std::memory_order_relaxed);
+  }
+
+  void clear_local(int tid) {
+    for (int s = 0; s < num_slots_; ++s) {
+      local(tid, s).store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // ---- signal handler (publish) -------------------------------------------
+
+  void on_ping(int tid) noexcept override {
+    if (!pt_[tid]->attached.load(std::memory_order_relaxed)) return;
+    publish(tid);
+    pt_[tid]->pings.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // publishReservations() of Algorithm 2; also callable synchronously by
+  // the reclaimer on itself.
+  void publish(int tid) noexcept {
+    for (int s = 0; s < num_slots_; ++s) {
+      shared_.at(tid, s).store(local(tid, s).load(std::memory_order_relaxed),
+                               std::memory_order_release);
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    pt_[tid]->publish_counter.fetch_add(1, std::memory_order_release);
+  }
+
+  // ---- reclaimer handshake --------------------------------------------------
+
+  // Executes collect + ping + wait. Returns the number of signals sent.
+  // On return, every pre-ping reservation of every attached thread is
+  // visible in the shared table.
+  int ping_all_and_wait(int self_tid) {
+    publish(self_tid);  // own reservations participate in the scan
+
+    // collectPublishedCounters()
+    struct Waited {
+      int tid;
+      uint64_t counter_before;
+      uint64_t registry_epoch;
+    };
+    Waited waited[runtime::kMaxThreads];
+    int nwait = 0;
+    const int hi = runtime::ThreadRegistry::instance().max_tid();
+    for (int t = 0; t <= hi; ++t) {
+      if (t == self_tid || !attached(t)) continue;
+      waited[nwait++] = {t,
+                         pt_[t]->publish_counter.load(std::memory_order_acquire),
+                         pt_[t]->registry_epoch};
+    }
+
+    // pingAllToPublish(): signal exactly the threads attached to this
+    // domain — the set whose publish counters we wait on below.
+    const int sent = runtime::ThreadRegistry::instance().ping_others(
+        runtime::kPingSignal, [this](int t) { return attached(t); },
+        [](int, uint64_t) {});
+
+    // waitForAllPublished()
+    auto& reg = runtime::ThreadRegistry::instance();
+    for (int i = 0; i < nwait; ++i) {
+      const auto& w = waited[i];
+      runtime::SpinThenYield waiter;
+      for (;;) {
+        if (pt_[w.tid]->publish_counter.load(std::memory_order_acquire) !=
+            w.counter_before) {
+          break;  // published since our snapshot
+        }
+        if (!attached(w.tid)) break;                     // detached: no refs
+        if (reg.slot_epoch(w.tid) != w.registry_epoch) break;  // slot recycled
+        waiter.wait();  // yields under oversubscription (§4.1.2)
+      }
+    }
+    return sent;
+  }
+
+  // ---- shared-table queries (reclaimer side) ---------------------------------
+
+  // Appends every non-zero published value into `out` (sorted); returns n.
+  int collect_shared(uintptr_t* out) const {
+    return shared_.collect(num_slots_, out);
+  }
+
+  uint64_t pings_received(int tid) const {
+    return pt_[tid]->pings.load(std::memory_order_relaxed);
+  }
+  uint64_t publish_count(int tid) const {
+    return pt_[tid]->publish_counter.load(std::memory_order_acquire);
+  }
+
+  int num_slots() const { return num_slots_; }
+
+ private:
+  std::atomic<uintptr_t>& local(int tid, int s) {
+    return pt_[tid]->local_slots[s];
+  }
+  const std::atomic<uintptr_t>& local(int tid, int s) const {
+    return pt_[tid]->local_slots[s];
+  }
+
+  struct PerThread {
+    std::atomic<uintptr_t> local_slots[smr::kMaxSlots] = {};
+    std::atomic<uint64_t> publish_counter{0};
+    std::atomic<uint64_t> pings{0};
+    std::atomic<bool> attached{false};
+    uint64_t registry_epoch = 0;
+  };
+
+  int num_slots_;
+  runtime::Padded<PerThread> pt_[runtime::kMaxThreads];
+  smr::SlotTable shared_;
+};
+
+}  // namespace pop::core

@@ -1,0 +1,219 @@
+// Harris-Michael lock-free linked-list set (HML) — Michael, PODC'02 — the
+// paper's list workhorse (Figure 2a, Figure 4, appendix Figures 8/10).
+//
+// Written against the uniform SMR policy interface, so the same code runs
+// under HP, HPAsym, HE, EBR, IBR, NBR+, BRC and the three POP schemes —
+// the executable form of the paper's "drop-in replacement" claim.
+//
+// Reservation discipline (slots: 0=prev, 1=curr, 2=next):
+//  * every hop protects the next node via the validated protect() read;
+//  * logical deletion sets the mark bit in curr->next; traversals help
+//    unlink marked nodes, and the thread whose unlink CAS succeeds is the
+//    unique retirer;
+//  * under NBR, traversals run in the read phase (checkpoint at the top of
+//    each operation) and every CAS runs in a write phase with its operands
+//    reserved first.
+//
+// HmOps exposes the algorithm over an external head so the hash table can
+// reuse it bucket-wise with a single shared reclamation domain.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "smr/checkpoint.hpp"
+#include "smr/domain_base.hpp"
+#include "smr/smr_config.hpp"
+#include "smr/tagged.hpp"
+
+namespace pop::ds {
+
+template <class Smr>
+struct HmOps {
+  struct Node : smr::Reclaimable {
+    explicit Node(uint64_t k) : key(k) {}
+    uint64_t key;
+    std::atomic<Node*> next{nullptr};
+  };
+
+  static constexpr int kSlotPrev = 0;
+  static constexpr int kSlotCurr = 1;
+  static constexpr int kSlotNext = 2;
+
+  struct Window {
+    Node* prev;  // last node with key < target (or head sentinel)
+    Node* curr;  // first node with key >= target, or nullptr
+    Node* next;  // curr->next (unmarked) when curr != nullptr
+  };
+
+  // Locates the window for `key`, helping to unlink marked nodes along the
+  // way. Postconditions: prev/curr/next reserved (in rotating slots), the
+  // prev->curr edge was observed unmarked, curr (if any) was observed
+  // logically present. Returns true iff curr holds `key`.
+  //
+  // Slot roles *rotate* on advance instead of copying reservations: the
+  // node entering the prev role already owns a reservation from when it
+  // was curr, so an advance costs zero extra slot stores — keeping the
+  // hot loop at exactly one protect() per hop, which is what the paper's
+  // per-read-fence comparison isolates.
+  static bool find(Smr& smr, Node* head, uint64_t key, Window& w) {
+  retry:
+    int sp = kSlotPrev, sc = kSlotCurr, sn = kSlotNext;
+    Node* prev = head;  // sentinel: never marked, never retired
+    Node* curr = smr.protect(sc, head->next);
+    for (;;) {
+      if (curr == nullptr) {
+        w = {prev, nullptr, nullptr};
+        return false;
+      }
+      Node* next_raw = smr.protect(sn, curr->next);
+      if (smr::is_marked(next_raw)) {
+        // curr is logically deleted: help unlink it. The CAS is a write,
+        // so NBR needs the operands reserved and neutralization masked.
+        Node* next = smr::strip_mark(next_raw);
+        smr.enter_write_phase({prev, curr, next});
+        Node* expected = curr;
+        if (prev->next.compare_exchange_strong(expected, next,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+          smr.retire(curr);  // unique retirer: the successful unlinker
+          smr.exit_write_phase();
+        } else {
+          smr.exit_write_phase();
+          goto retry;  // window changed under us
+        }
+        curr = smr.protect(sc, prev->next);
+        if (smr::is_marked(curr)) goto retry;  // prev got deleted
+        continue;
+      }
+      if (curr->key >= key) {
+        w = {prev, curr, next_raw};
+        return curr->key == key;
+      }
+      prev = curr;
+      curr = next_raw;
+      const int t = sp;  // rotate roles; old prev's reservation is dropped
+      sp = sc;
+      sc = sn;
+      sn = t;
+    }
+  }
+
+  static bool contains(Smr& smr, Node* head, uint64_t key) {
+    typename Smr::Guard g(smr);
+    POPSMR_CHECKPOINT(smr);  // a neutralization longjmp re-runs find
+    Window w;
+    return find(smr, head, key, w);
+  }
+
+  static bool insert(Smr& smr, Node* head, uint64_t key) {
+    typename Smr::Guard g(smr);
+  retry:
+    POPSMR_CHECKPOINT(smr);
+    Window w;
+    if (find(smr, head, key, w)) return false;
+    smr.enter_write_phase({w.prev, w.curr});
+    Node* n = smr.template create<Node>(key);
+    n->next.store(w.curr, std::memory_order_relaxed);
+    Node* expected = w.curr;
+    if (w.prev->next.compare_exchange_strong(expected, n,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+      return true;  // Guard's end_op exits the write phase
+    }
+    smr::destroy_unpublished(n);
+    smr.exit_write_phase();
+    goto retry;
+  }
+
+  static bool erase(Smr& smr, Node* head, uint64_t key) {
+    typename Smr::Guard g(smr);
+  retry:
+    POPSMR_CHECKPOINT(smr);
+    Window w;
+    if (!find(smr, head, key, w)) return false;
+    smr.enter_write_phase({w.prev, w.curr, w.next});
+    // Logical deletion: mark curr->next.
+    Node* expected = w.next;
+    if (!w.curr->next.compare_exchange_strong(expected,
+                                              smr::with_mark(w.next),
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+      smr.exit_write_phase();
+      goto retry;
+    }
+    // Physical unlink, best effort; a failed CAS means some traversal will
+    // (or already did) unlink and retire it for us.
+    Node* expc = w.curr;
+    if (w.prev->next.compare_exchange_strong(expc, w.next,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+      smr.retire(w.curr);
+    }
+    return true;
+  }
+
+  // Quiescent-only helpers (tests, teardown).
+  static uint64_t size_slow(Node* head) {
+    uint64_t n = 0;
+    for (Node* c = smr::strip_mark(head->next.load(std::memory_order_acquire));
+         c != nullptr;
+         c = smr::strip_mark(c->next.load(std::memory_order_acquire))) {
+      if (!smr::is_marked(c->next.load(std::memory_order_acquire))) ++n;
+    }
+    return n;
+  }
+
+  static bool sorted_unique_slow(Node* head) {
+    uint64_t last = 0;
+    bool first = true;
+    for (Node* c = smr::strip_mark(head->next.load(std::memory_order_acquire));
+         c != nullptr;
+         c = smr::strip_mark(c->next.load(std::memory_order_acquire))) {
+      if (!first && c->key <= last) return false;
+      last = c->key;
+      first = false;
+    }
+    return true;
+  }
+
+  static void destroy_chain(Node* head) {
+    Node* c = head;
+    while (c != nullptr) {
+      Node* nx = smr::strip_mark(c->next.load(std::memory_order_relaxed));
+      c->deleter(c);
+      c = nx;
+    }
+  }
+};
+
+// The standalone list set.
+template <class Smr>
+class HmList {
+ public:
+  using Ops = HmOps<Smr>;
+  using Node = typename Ops::Node;
+
+  explicit HmList(const smr::SmrConfig& cfg = {}) : smr_(cfg) {
+    head_ = smr_.template create<Node>(0);
+  }
+  ~HmList() { Ops::destroy_chain(head_); }
+
+  bool contains(uint64_t k) { return Ops::contains(smr_, head_, k); }
+  bool insert(uint64_t k) { return Ops::insert(smr_, head_, k); }
+  bool erase(uint64_t k) { return Ops::erase(smr_, head_, k); }
+
+  uint64_t size_slow() const { return Ops::size_slow(head_); }
+  bool sorted_unique_slow() const { return Ops::sorted_unique_slow(head_); }
+
+  Smr& domain() { return smr_; }
+
+  HmList(const HmList&) = delete;
+  HmList& operator=(const HmList&) = delete;
+
+ private:
+  Smr smr_;  // declared first: destroyed last (drains retire lists)
+  Node* head_;
+};
+
+}  // namespace pop::ds

@@ -1,0 +1,53 @@
+// Type-erased concurrent set interface + factory over every
+// (data structure x reclamation scheme) combination in the library.
+//
+// The benchmark driver and the integration tests are written against
+// ISet so one binary can sweep the full matrix; virtual dispatch happens
+// once per *operation* (amortized over a whole traversal) so it does not
+// perturb the per-read costs the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "smr/smr_config.hpp"
+
+namespace pop::ds {
+
+struct SetConfig {
+  // Expected maximum number of keys (hash-table bucket sizing).
+  uint64_t capacity = 1 << 16;
+  double load_factor = 6.0;  // hash table only; the paper uses 6
+  smr::SmrConfig smr;
+};
+
+class ISet {
+ public:
+  virtual ~ISet() = default;
+  virtual bool insert(uint64_t key) = 0;
+  virtual bool erase(uint64_t key) = 0;
+  virtual bool contains(uint64_t key) = 0;
+
+  // Called by each worker thread before it exits so reclaimers stop
+  // waiting on it (and its reservations are dropped).
+  virtual void detach_thread() = 0;
+
+  virtual smr::StatsSnapshot smr_stats() const = 0;
+  virtual uint64_t size_slow() const = 0;
+  virtual std::string ds_name() const = 0;
+  virtual std::string smr_name() const = 0;
+};
+
+// Known names (factory keys, also the benchmark row labels).
+const std::vector<std::string>& all_smr_names();
+const std::vector<std::string>& all_ds_names();
+
+// Creates `ds` ("HML", "LL", "HMHT", "DGT", "ABT") under `smr` ("NR",
+// "HP", "HPAsym", "HE", "EBR", "IBR", "NBR", "BRC", "HazardPtrPOP",
+// "HazardEraPOP", "EpochPOP"). Returns nullptr for unknown names.
+std::unique_ptr<ISet> make_set(const std::string& ds, const std::string& smr,
+                               const SetConfig& cfg);
+
+}  // namespace pop::ds

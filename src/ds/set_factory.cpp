@@ -1,0 +1,35 @@
+#include "ds/iset.hpp"
+
+namespace pop::ds {
+
+// Implemented one-per-DS in set_factory_<ds>.cpp.
+std::unique_ptr<ISet> make_hm_list(const std::string&, const SetConfig&);
+std::unique_ptr<ISet> make_lazy_list(const std::string&, const SetConfig&);
+std::unique_ptr<ISet> make_hash_table(const std::string&, const SetConfig&);
+std::unique_ptr<ISet> make_dgt_bst(const std::string&, const SetConfig&);
+std::unique_ptr<ISet> make_ab_tree(const std::string&, const SetConfig&);
+
+const std::vector<std::string>& all_smr_names() {
+  static const std::vector<std::string> names = {
+      "NR",  "HP",  "HPAsym", "HE",           "EBR",          "IBR",
+      "NBR", "BRC", "EpochPOP", "HazardEraPOP", "HazardPtrPOP"};
+  return names;
+}
+
+const std::vector<std::string>& all_ds_names() {
+  static const std::vector<std::string> names = {"HML", "LL", "HMHT", "DGT",
+                                                 "ABT"};
+  return names;
+}
+
+std::unique_ptr<ISet> make_set(const std::string& ds, const std::string& smr,
+                               const SetConfig& cfg) {
+  if (ds == "HML") return make_hm_list(smr, cfg);
+  if (ds == "LL") return make_lazy_list(smr, cfg);
+  if (ds == "HMHT") return make_hash_table(smr, cfg);
+  if (ds == "DGT") return make_dgt_bst(smr, cfg);
+  if (ds == "ABT") return make_ab_tree(smr, cfg);
+  return nullptr;
+}
+
+}  // namespace pop::ds

@@ -1,0 +1,61 @@
+// Internal plumbing for the ISet factory: the adapter template and the
+// scheme-name dispatcher. Included only by the per-DS factory .cpp files
+// (one translation unit per data structure keeps rebuilds incremental).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "ds/iset.hpp"
+#include "smr/all.hpp"
+
+namespace pop::ds::detail {
+
+template <class DsT>
+class SetAdapter final : public ISet {
+ public:
+  template <class... Args>
+  explicit SetAdapter(std::string ds_name, Args&&... args)
+      : ds_(std::forward<Args>(args)...), ds_name_(std::move(ds_name)) {}
+
+  bool insert(uint64_t key) override { return ds_.insert(key); }
+  bool erase(uint64_t key) override { return ds_.erase(key); }
+  bool contains(uint64_t key) override { return ds_.contains(key); }
+  void detach_thread() override { ds_.domain().detach(); }
+  smr::StatsSnapshot smr_stats() const override {
+    return const_cast<DsT&>(ds_).domain().stats();
+  }
+  uint64_t size_slow() const override { return ds_.size_slow(); }
+  std::string ds_name() const override { return ds_name_; }
+  std::string smr_name() const override {
+    return std::decay_t<decltype(std::declval<DsT&>().domain())>::kName;
+  }
+
+ private:
+  DsT ds_;
+  std::string ds_name_;
+};
+
+// Calls maker.template make<Scheme>() for the scheme named `name`.
+template <class Maker>
+std::unique_ptr<ISet> dispatch_smr(const std::string& name, Maker&& maker) {
+  if (name == "NR") return maker.template make<smr::NrDomain>();
+  if (name == "HP") return maker.template make<smr::HpDomain>();
+  if (name == "HPAsym") return maker.template make<smr::HpAsymDomain>();
+  if (name == "HE") return maker.template make<smr::HeDomain>();
+  if (name == "EBR") return maker.template make<smr::EbrDomain>();
+  if (name == "IBR") return maker.template make<smr::IbrDomain>();
+  if (name == "NBR") return maker.template make<smr::NbrDomain>();
+  if (name == "BRC") return maker.template make<smr::BrcDomain>();
+  if (name == "HazardPtrPOP") {
+    return maker.template make<core::HazardPtrPopDomain>();
+  }
+  if (name == "HazardEraPOP") {
+    return maker.template make<core::HazardEraPopDomain>();
+  }
+  if (name == "EpochPOP") return maker.template make<core::EpochPopDomain>();
+  return nullptr;
+}
+
+}  // namespace pop::ds::detail

@@ -1,0 +1,21 @@
+#include "ds/dgt_bst.hpp"
+#include "ds/set_factory_detail.hpp"
+
+namespace pop::ds {
+
+namespace {
+struct Maker {
+  const SetConfig& cfg;
+  template <class S>
+  std::unique_ptr<ISet> make() const {
+    return std::make_unique<detail::SetAdapter<DgtBst<S>>>("DGT", cfg.smr);
+  }
+};
+}  // namespace
+
+std::unique_ptr<ISet> make_dgt_bst(const std::string& smr,
+                                   const SetConfig& cfg) {
+  return detail::dispatch_smr(smr, Maker{cfg});
+}
+
+}  // namespace pop::ds

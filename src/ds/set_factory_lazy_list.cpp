@@ -1,0 +1,21 @@
+#include "ds/lazy_list.hpp"
+#include "ds/set_factory_detail.hpp"
+
+namespace pop::ds {
+
+namespace {
+struct Maker {
+  const SetConfig& cfg;
+  template <class S>
+  std::unique_ptr<ISet> make() const {
+    return std::make_unique<detail::SetAdapter<LazyList<S>>>("LL", cfg.smr);
+  }
+};
+}  // namespace
+
+std::unique_ptr<ISet> make_lazy_list(const std::string& smr,
+                                     const SetConfig& cfg) {
+  return detail::dispatch_smr(smr, Maker{cfg});
+}
+
+}  // namespace pop::ds

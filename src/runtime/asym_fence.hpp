@@ -1,0 +1,53 @@
+// Asymmetric memory barrier: a near-free reader-side "light" fence paired
+// with an expensive reclaimer-side "heavy" fence that forces every thread's
+// prior stores visible and its prior loads complete.
+//
+// This is the substrate for HPAsym (the Folly-style hazard pointer
+// baseline the paper compares against, §2.1/§5). Readers publish a hazard
+// pointer with a plain store + compiler barrier; reclaimers run
+// heavy_fence() before scanning so that either the reader's store is
+// visible or the reader's validation load will observe the unlink.
+//
+// Backend selection, probed once at startup:
+//  1. membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED)   - Linux >= 4.14
+//  2. signal broadcast via the thread registry        - container fallback
+// The fallback mirrors what liburcu did before sys_membarrier existed (and
+// is itself a miniature publish-on-ping, minus the reservation copy).
+#pragma once
+
+#include <atomic>
+
+namespace pop::runtime {
+
+enum class AsymBackend { kMembarrier, kSignalBroadcast };
+
+class AsymFence {
+ public:
+  static AsymFence& instance();
+
+  // Reader side: compiler-only barrier. On TSO the paired heavy fence
+  // supplies the StoreLoad ordering.
+  static void light_fence() noexcept {
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+  }
+
+  // Reclaimer side: process-wide barrier over all registered threads.
+  void heavy_fence();
+
+  AsymBackend backend() const noexcept { return backend_; }
+
+  AsymFence(const AsymFence&) = delete;
+  AsymFence& operator=(const AsymFence&) = delete;
+
+ private:
+  AsymFence();
+  AsymBackend backend_;
+};
+
+namespace detail {
+// When the signal-broadcast fallback is active, worker threads must be
+// reachable by the barrier's ping; HPAsym calls this at thread attach.
+void attach_barrier_client_for_current_thread();
+}  // namespace detail
+
+}  // namespace pop::runtime

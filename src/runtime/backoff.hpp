@@ -1,0 +1,63 @@
+// Bounded exponential backoff for contended CAS loops and spin waits.
+#pragma once
+
+#include <sched.h>
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace pop::runtime {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+class Backoff {
+ public:
+  explicit Backoff(uint32_t max_spins = 1024) noexcept : max_(max_spins) {}
+
+  void pause() noexcept {
+    for (uint32_t i = 0; i < cur_; ++i) cpu_relax();
+    if (cur_ < max_) cur_ *= 2;
+  }
+
+  void reset() noexcept { cur_ = 1; }
+
+ private:
+  uint32_t cur_ = 1;
+  uint32_t max_;
+};
+
+// Waiter for conditions that require *another thread to run* (publish
+// counters, acks, grace periods). Spins briefly for the uncontended case,
+// then yields: on an oversubscribed machine the awaited thread cannot make
+// progress until the waiter gives up the CPU — burning the whole timeslice
+// in cpu_relax() turns a microsecond handshake into a scheduling quantum
+// (the paper's §4.1.2 worst case).
+class SpinThenYield {
+ public:
+  void wait() noexcept {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+      cpu_relax();
+    } else {
+      yield_now();
+    }
+  }
+
+ private:
+  static constexpr uint32_t kSpinLimit = 128;
+  static void yield_now() noexcept { sched_yield(); }
+  uint32_t spins_ = 0;
+};
+
+}  // namespace pop::runtime

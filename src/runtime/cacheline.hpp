@@ -1,0 +1,12 @@
+// Cache-line geometry and false-sharing protection.
+#pragma once
+
+#include <cstddef>
+
+namespace pop::runtime {
+
+// Two 64-byte lines: x86 adjacent-line prefetch makes 128 the effective
+// destructive-interference granularity.
+inline constexpr std::size_t kCacheLine = 128;
+
+}  // namespace pop::runtime

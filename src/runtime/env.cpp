@@ -1,0 +1,21 @@
+#include "runtime/env.hpp"
+
+#include <cstdlib>
+
+namespace pop::runtime {
+
+uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<uint64_t>(v);
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || *raw == '\0') ? fallback : std::string(raw);
+}
+
+}  // namespace pop::runtime

@@ -1,0 +1,15 @@
+// Environment-variable helpers for benchmark configuration overrides.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pop::runtime {
+
+// Value of `name` parsed as u64, or `fallback` if unset/unparsable.
+uint64_t env_u64(const char* name, uint64_t fallback);
+
+// Value of `name`, or `fallback` if unset.
+std::string env_str(const char* name, const std::string& fallback);
+
+}  // namespace pop::runtime

@@ -1,0 +1,29 @@
+// Padded<T>: one T per cache line, for per-thread arrays that would
+// otherwise false-share (publish counters, reservation rows, stats).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "runtime/cacheline.hpp"
+
+namespace pop::runtime {
+
+template <class T>
+struct alignas(kCacheLine) Padded {
+  T v{};
+
+  Padded() = default;
+  template <class... Args>
+  explicit Padded(Args&&... args) : v(std::forward<Args>(args)...) {}
+
+  T* operator->() { return &v; }
+  const T* operator->() const { return &v; }
+  T& operator*() { return v; }
+  const T& operator*() const { return v; }
+};
+
+static_assert(alignof(Padded<char>) == kCacheLine);
+static_assert(sizeof(Padded<char>) == kCacheLine);
+
+}  // namespace pop::runtime

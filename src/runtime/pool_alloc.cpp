@@ -1,0 +1,235 @@
+#include "runtime/pool_alloc.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "runtime/cacheline.hpp"
+
+namespace pop::runtime {
+
+namespace {
+
+// ---- size classes -------------------------------------------------------
+// Powers of two from 32B to kMaxBlockSize. Concurrent set/tree nodes are
+// 32-512B, so fine-grained small classes matter more than large ones.
+constexpr std::size_t kMinShift = 5;   // 32 B
+constexpr std::size_t kMaxShift = 13;  // 8 KiB
+constexpr int kNumClasses = static_cast<int>(kMaxShift - kMinShift + 1);
+constexpr std::size_t kSlabBytes = 256 * 1024;
+
+int class_of(std::size_t size) {
+  std::size_t need = size < 32 ? 32 : size;
+  int c = 0;
+  std::size_t cap = std::size_t{1} << kMinShift;
+  while (cap < need) {
+    cap <<= 1;
+    ++c;
+  }
+  return c;
+}
+
+constexpr std::size_t class_bytes(int c) {
+  return std::size_t{1} << (kMinShift + static_cast<std::size_t>(c));
+}
+
+constexpr uint32_t kMagicLive = 0xA110CA7Eu;
+constexpr uint32_t kMagicFree = 0xF7EEF7EEu;
+
+struct ThreadHeap;
+
+// One header word per block, immediately before the payload.
+struct BlockHeader {
+  ThreadHeap* owner;   // owning heap (remote frees push to its stack)
+  uint32_t size_class;
+  uint32_t magic;      // live/free marker, verified in poison mode
+};
+static_assert(sizeof(BlockHeader) == 16);
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+std::atomic<uint64_t> g_allocated{0};
+std::atomic<uint64_t> g_freed{0};
+std::atomic<uint64_t> g_remote{0};
+std::atomic<uint64_t> g_slabs{0};
+std::atomic<bool> g_poison{false};
+
+[[noreturn]] void die(const char* what, const void* p) {
+  std::fprintf(stderr, "popsmr pool_alloc: %s (block %p)\n", what, p);
+  std::abort();
+}
+
+struct alignas(kCacheLine) ThreadHeap {
+  // Local free lists: owner-thread only, no synchronization.
+  FreeNode* local[kNumClasses] = {};
+  // Remote-free stacks: lock-free MPSC Treiber stacks, drained by owner.
+  std::atomic<FreeNode*> remote[kNumClasses] = {};
+  // Slab bump state, per class.
+  char* bump_cur[kNumClasses] = {};
+  char* bump_end[kNumClasses] = {};
+
+  void* alloc(int c) {
+    if (FreeNode* n = local[c]) {
+      local[c] = n->next;
+      return reuse(n, c);
+    }
+    if (remote[c].load(std::memory_order_relaxed) != nullptr) {
+      FreeNode* chain = remote[c].exchange(nullptr, std::memory_order_acquire);
+      if (chain != nullptr) {
+        local[c] = chain->next;
+        return reuse(chain, c);
+      }
+    }
+    return carve(c);
+  }
+
+  void* reuse(FreeNode* n, int /*size_class*/) {
+    auto* h = reinterpret_cast<BlockHeader*>(reinterpret_cast<char*>(n) -
+                                             sizeof(BlockHeader));
+    if (g_poison.load(std::memory_order_relaxed)) {
+      if (h->magic != kMagicFree) die("reusing non-free block", n);
+    }
+    h->magic = kMagicLive;
+    g_allocated.fetch_add(1, std::memory_order_relaxed);
+    return n;
+  }
+
+  void* carve(int c) {
+    const std::size_t block = sizeof(BlockHeader) + class_bytes(c);
+    if (bump_cur[c] == nullptr ||
+        bump_cur[c] + block > bump_end[c]) {
+      char* slab = static_cast<char*>(::operator new(kSlabBytes));
+      g_slabs.fetch_add(1, std::memory_order_relaxed);
+      bump_cur[c] = slab;
+      bump_end[c] = slab + kSlabBytes;
+      // Slabs are intentionally never returned to the OS: SMR benchmarks
+      // measure reclamation of *nodes*, and mimalloc likewise retains
+      // pages for reuse during a run.
+    }
+    auto* h = reinterpret_cast<BlockHeader*>(bump_cur[c]);
+    bump_cur[c] += block;
+    h->owner = this;
+    h->size_class = static_cast<uint32_t>(c);
+    h->magic = kMagicLive;
+    g_allocated.fetch_add(1, std::memory_order_relaxed);
+    return h + 1;
+  }
+};
+
+// Heaps are handed out per thread and parked (never destroyed) on thread
+// exit so in-flight remote frees always target a live heap. A later thread
+// adopts a parked heap, inheriting its free lists.
+std::mutex g_heaps_mu;
+std::vector<ThreadHeap*> g_parked;
+
+struct HeapHolder {
+  ThreadHeap* heap = nullptr;
+  ~HeapHolder() {
+    if (heap != nullptr) {
+      std::lock_guard<std::mutex> lk(g_heaps_mu);
+      g_parked.push_back(heap);
+    }
+  }
+};
+thread_local HeapHolder t_heap;
+
+ThreadHeap* my_heap() {
+  if (t_heap.heap != nullptr) return t_heap.heap;
+  std::lock_guard<std::mutex> lk(g_heaps_mu);
+  if (!g_parked.empty()) {
+    t_heap.heap = g_parked.back();
+    g_parked.pop_back();
+  } else {
+    t_heap.heap = new ThreadHeap();  // leaked on purpose (process lifetime)
+  }
+  return t_heap.heap;
+}
+
+BlockHeader* header_of(void* p) {
+  return reinterpret_cast<BlockHeader*>(static_cast<char*>(p) -
+                                        sizeof(BlockHeader));
+}
+
+}  // namespace
+
+PoolAllocator& PoolAllocator::instance() {
+  static PoolAllocator a;
+  return a;
+}
+
+void* PoolAllocator::allocate(std::size_t size) {
+  if (size > kMaxBlockSize) {
+    // Oversized: plain heap block tagged with a null owner.
+    char* raw =
+        static_cast<char*>(::operator new(size + sizeof(BlockHeader)));
+    auto* h = reinterpret_cast<BlockHeader*>(raw);
+    h->owner = nullptr;
+    h->size_class = 0;
+    h->magic = kMagicLive;
+    g_allocated.fetch_add(1, std::memory_order_relaxed);
+    return raw + sizeof(BlockHeader);
+  }
+  return my_heap()->alloc(class_of(size));
+}
+
+void PoolAllocator::deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  BlockHeader* h = header_of(p);
+  const bool poison = g_poison.load(std::memory_order_relaxed);
+  if (poison && h->magic != kMagicLive) {
+    die(h->magic == kMagicFree ? "double free" : "freeing corrupt block", p);
+  }
+  g_freed.fetch_add(1, std::memory_order_relaxed);
+  if (h->owner == nullptr) {
+    h->magic = kMagicFree;
+    ::operator delete(static_cast<void*>(h));
+    return;
+  }
+  const int c = static_cast<int>(h->size_class);
+  if (poison) {
+    std::memset(p, kPoisonByte, class_bytes(c));
+  }
+  h->magic = kMagicFree;
+  auto* node = static_cast<FreeNode*>(p);
+  ThreadHeap* owner = h->owner;
+  if (owner == t_heap.heap) {
+    node->next = owner->local[c];
+    owner->local[c] = node;
+    return;
+  }
+  // Remote free: push onto the owner's MPSC stack.
+  g_remote.fetch_add(1, std::memory_order_relaxed);
+  FreeNode* head = owner->remote[c].load(std::memory_order_relaxed);
+  do {
+    node->next = head;
+  } while (!owner->remote[c].compare_exchange_weak(
+      head, node, std::memory_order_release, std::memory_order_relaxed));
+}
+
+void PoolAllocator::set_poison(bool on) noexcept {
+  g_poison.store(on, std::memory_order_seq_cst);
+}
+
+bool PoolAllocator::poison_enabled() noexcept {
+  return g_poison.load(std::memory_order_relaxed);
+}
+
+bool PoolAllocator::is_poisoned(const void* p) noexcept {
+  if (p == nullptr) return false;
+  const auto* h = reinterpret_cast<const BlockHeader*>(
+      static_cast<const char*>(p) - sizeof(BlockHeader));
+  return h->magic == kMagicFree;
+}
+
+PoolAllocator::Stats PoolAllocator::stats() const noexcept {
+  return {g_allocated.load(std::memory_order_relaxed),
+          g_freed.load(std::memory_order_relaxed),
+          g_remote.load(std::memory_order_relaxed),
+          g_slabs.load(std::memory_order_relaxed)};
+}
+
+}  // namespace pop::runtime

@@ -1,0 +1,31 @@
+#include "runtime/proc_stats.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace pop::runtime {
+namespace {
+
+uint64_t status_field_kib(const char* key) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t out = 0;
+  const std::size_t keylen = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, keylen) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + keylen, " %llu", &v) == 1) out = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+uint64_t vm_hwm_kib() { return status_field_kib("VmHWM:"); }
+uint64_t vm_rss_kib() { return status_field_kib("VmRSS:"); }
+
+}  // namespace pop::runtime

@@ -1,0 +1,15 @@
+// Process memory statistics from /proc/self/status, used by the appendix
+// experiments (Figures 5-11) which report max resident memory.
+#pragma once
+
+#include <cstdint>
+
+namespace pop::runtime {
+
+// Peak resident set size (VmHWM) in KiB; 0 if unavailable.
+uint64_t vm_hwm_kib();
+
+// Current resident set size (VmRSS) in KiB; 0 if unavailable.
+uint64_t vm_rss_kib();
+
+}  // namespace pop::runtime

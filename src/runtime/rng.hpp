@@ -1,0 +1,53 @@
+// Per-thread pseudo-random numbers for workload generation.
+// splitmix64 seeds xoshiro256** (Blackman & Vigna); both are tiny,
+// allocation-free and fast enough to never show up in profiles.
+#pragma once
+
+#include <cstdint>
+
+namespace pop::runtime {
+
+inline uint64_t splitmix64(uint64_t& state) noexcept {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed = 0x853c49e6748fea9bull) noexcept {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  uint64_t next() noexcept {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Lemire's multiply-shift rejection-free mapping
+  // (slight modulo bias is irrelevant for workload key choice).
+  uint64_t next_below(uint64_t bound) noexcept {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // True with probability pct/100.
+  bool percent(uint32_t pct) noexcept { return next_below(100) < pct; }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace pop::runtime

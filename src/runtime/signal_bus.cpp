@@ -1,0 +1,101 @@
+#include "runtime/signal_bus.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/thread_registry.hpp"
+
+namespace pop::runtime {
+
+namespace {
+
+constexpr int kMaxClientsPerThread = 16;
+
+struct ClientTable {
+  // Slots are published with release stores so the handler (same thread,
+  // but asynchronous) observes fully-constructed entries. std::atomic of a
+  // pointer is lock-free and therefore async-signal-safe.
+  std::atomic<SignalClient*> slots[kMaxClientsPerThread] = {};
+};
+
+thread_local ClientTable t_clients;
+
+std::atomic<bool> g_handler_installed{false};
+
+}  // namespace
+
+SignalBus& SignalBus::instance() {
+  static SignalBus bus;
+  return bus;
+}
+
+void SignalBus::handler(int) {
+  // errno must be preserved: the interrupted code may be between a syscall
+  // and its errno check.
+  const int saved_errno = errno;
+  // A still-pending ping can be delivered while this thread is exiting,
+  // *after* it deregistered (thread_local destructor order is
+  // unspecified). Registering from a signal handler would deadlock on
+  // the registry lock the sender may hold and write to a destroyed
+  // thread_local — so consult the cached id only and bail out when the
+  // thread is no longer (or not yet) registered: an unregistered thread
+  // has nothing to publish and no reclaimer waits on it.
+  const int tid = ThreadRegistry::detail_cached_tid();
+  if (tid < 0) {
+    errno = saved_errno;
+    return;
+  }
+  for (auto& slot : t_clients.slots) {
+    SignalClient* c = slot.load(std::memory_order_acquire);
+    if (c != nullptr) c->on_ping(tid);  // may siglongjmp (NBR)
+  }
+  errno = saved_errno;
+}
+
+void SignalBus::attach(SignalClient* c) {
+  // A client is only reachable if the thread is registered: broadcasts
+  // iterate the registry.
+  (void)ThreadRegistry::instance().my_tid();
+  if (!g_handler_installed.exchange(true, std::memory_order_acq_rel)) {
+    struct sigaction sa = {};
+    sa.sa_handler = &SignalBus::handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    if (sigaction(kPingSignal, &sa, nullptr) != 0) {
+      std::perror("popsmr: sigaction");
+      std::abort();
+    }
+  }
+  for (auto& slot : t_clients.slots) {
+    if (slot.load(std::memory_order_relaxed) == c) return;  // already attached
+  }
+  for (auto& slot : t_clients.slots) {
+    if (slot.load(std::memory_order_relaxed) == nullptr) {
+      slot.store(c, std::memory_order_release);
+      return;
+    }
+  }
+  std::fprintf(stderr, "popsmr: >%d signal clients on one thread\n",
+               kMaxClientsPerThread);
+  std::abort();
+}
+
+void SignalBus::detach(SignalClient* c) {
+  for (auto& slot : t_clients.slots) {
+    if (slot.load(std::memory_order_relaxed) == c) {
+      slot.store(nullptr, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+bool SignalBus::attached(SignalClient* c) const {
+  for (auto& slot : t_clients.slots) {
+    if (slot.load(std::memory_order_relaxed) == c) return true;
+  }
+  return false;
+}
+
+}  // namespace pop::runtime

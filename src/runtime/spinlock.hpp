@@ -1,0 +1,37 @@
+// Test-and-test-and-set spinlock with backoff. Used for per-node locks in
+// the lock-based data structures (lazy list, DGT BST, (a,b)-tree) where a
+// futex-based mutex would be too heavy (one lock per node).
+#pragma once
+
+#include <atomic>
+
+#include "runtime/backoff.hpp"
+
+namespace pop::runtime {
+
+class Spinlock {
+ public:
+  void lock() noexcept {
+    Backoff bo(256);
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) bo.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+  bool is_locked() const noexcept {
+    return locked_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace pop::runtime

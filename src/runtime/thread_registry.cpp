@@ -1,0 +1,91 @@
+#include "runtime/thread_registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/backoff.hpp"
+
+namespace pop::runtime {
+
+namespace detail {
+thread_local int t_cached_tid = -1;
+}  // namespace detail
+
+namespace {
+// RAII holder that releases the slot when the thread exits.
+struct TidHolder {
+  int tid = -1;
+  ~TidHolder();
+};
+thread_local TidHolder t_tid;
+}  // namespace
+
+// Out-of-line so TidHolder's dtor can see deregister().
+struct TidGuard {
+  static void release(int tid) { ThreadRegistry::instance().deregister(tid); }
+};
+
+namespace {
+TidHolder::~TidHolder() {
+  if (tid >= 0) {
+    detail::t_cached_tid = -1;
+    TidGuard::release(tid);
+  }
+}
+}  // namespace
+
+ThreadRegistry& ThreadRegistry::instance() {
+  static ThreadRegistry r;  // leaked-on-exit singleton; no destruction races
+  return r;
+}
+
+void ThreadRegistry::lock() {
+  Backoff bo(512);
+  while (mu_.exchange(true, std::memory_order_acquire)) {
+    while (mu_.load(std::memory_order_relaxed)) bo.pause();
+  }
+}
+
+void ThreadRegistry::unlock() { mu_.store(false, std::memory_order_release); }
+
+int ThreadRegistry::register_current_thread() {
+  lock();
+  int tid = -1;
+  for (int t = 0; t < kMaxThreads; ++t) {
+    if (!slots_[t]->alive.load(std::memory_order_relaxed)) {
+      tid = t;
+      break;
+    }
+  }
+  if (tid < 0) {
+    unlock();
+    std::fprintf(stderr,
+                 "popsmr: thread registry exhausted (kMaxThreads=%d)\n",
+                 kMaxThreads);
+    std::abort();
+  }
+  auto& s = *slots_[tid];
+  s.handle = pthread_self();
+  s.epoch.fetch_add(1, std::memory_order_release);
+  s.alive.store(true, std::memory_order_release);
+  int hi = max_tid_.load(std::memory_order_relaxed);
+  while (hi < tid &&
+         !max_tid_.compare_exchange_weak(hi, tid, std::memory_order_release)) {
+  }
+  live_.fetch_add(1, std::memory_order_relaxed);
+  unlock();
+  t_tid.tid = tid;
+  detail::t_cached_tid = tid;
+  return tid;
+}
+
+void ThreadRegistry::deregister(int tid) {
+  lock();
+  auto& s = *slots_[tid];
+  s.alive.store(false, std::memory_order_release);
+  s.epoch.fetch_add(1, std::memory_order_release);
+  live_.fetch_sub(1, std::memory_order_relaxed);
+  unlock();
+}
+
+}  // namespace pop::runtime

@@ -1,0 +1,125 @@
+// Process-wide thread registry.
+//
+// Publish-on-ping needs to send POSIX signals to every participating
+// thread, which requires (a) a dense small integer id per live thread for
+// indexing SWMR reservation arrays, and (b) a pthread_t that is guaranteed
+// to stay valid for the duration of a pthread_kill call.
+//
+// Ids are allocated from a fixed pool on first use (my_tid()) and recycled
+// when the thread exits (thread_local destructor). ping-style broadcasts
+// run under the registry mutex, so a registered thread cannot finish
+// deregistering — and thus cannot die — while a signal to it is in flight.
+#pragma once
+
+#include <pthread.h>
+#include <signal.h>  // pthread_kill
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/padded.hpp"
+
+namespace pop::runtime {
+
+// Upper bound on simultaneously live registered threads. SMR domains size
+// their per-thread arrays with this; keep it modest to keep scans cheap.
+inline constexpr int kMaxThreads = 144;
+
+namespace detail {
+// Fast-path cache for my_tid(): initial-exec TLS, readable with a single
+// mov on the hot path (protect() consults it on every pointer read).
+extern thread_local int t_cached_tid;
+}  // namespace detail
+
+class ThreadRegistry {
+ public:
+  static ThreadRegistry& instance();
+
+  // Dense id of the calling thread, registering it on first call.
+  int my_tid() {
+    const int t = detail::t_cached_tid;
+    return t >= 0 ? t : register_current_thread();
+  }
+
+  // True if a thread currently owns `tid`.
+  bool alive(int tid) const {
+    return slots_[tid]->alive.load(std::memory_order_acquire);
+  }
+
+  // Registration epoch of `tid`: bumped every time the slot is (re)assigned,
+  // so waiters can detect that a slot was recycled to a different thread.
+  uint64_t slot_epoch(int tid) const {
+    return slots_[tid]->epoch.load(std::memory_order_acquire);
+  }
+
+  // Sends `sig` to every live registered thread except the caller for
+  // which filter(tid) is true, invoking fn(tid, epoch) per signalled
+  // thread. Runs under the registry lock: targets cannot deregister (or
+  // exit) mid-kill. Returns #signals sent.
+  //
+  // Callers MUST pass a filter selecting only the threads participating
+  // in their domain: signalling uninvolved threads is not just wasted
+  // work — a reclaim-heavy domain would bombard every thread in the
+  // process with EINTRs (a sleeping thread can be starved out of its
+  // sleep entirely at high ping rates).
+  template <class Filter, class Fn>
+  int ping_others(int sig, Filter&& filter, Fn&& fn) {
+    const int self = my_tid();  // register before taking the lock
+    lock();
+    int sent = 0;
+    const int hi = max_tid_.load(std::memory_order_acquire);
+    for (int t = 0; t <= hi; ++t) {
+      auto& s = *slots_[t];
+      if (t == self || !s.alive.load(std::memory_order_acquire)) continue;
+      if (!filter(t)) continue;
+      if (pthread_kill(s.handle, sig) == 0) {
+        fn(t, s.epoch.load(std::memory_order_relaxed));
+        ++sent;
+      }
+    }
+    unlock();
+    return sent;
+  }
+
+  // Async-signal-safe read of the calling thread's cached id; -1 when the
+  // thread is not currently registered (never registers).
+  static int detail_cached_tid() noexcept { return detail::t_cached_tid; }
+
+  // Largest tid ever assigned (inclusive); bounds scan loops.
+  int max_tid() const { return max_tid_.load(std::memory_order_acquire); }
+
+  // #threads currently registered.
+  int live_count() const { return live_.load(std::memory_order_relaxed); }
+
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+
+ private:
+  ThreadRegistry() = default;
+
+  struct Slot {
+    std::atomic<bool> alive{false};
+    std::atomic<uint64_t> epoch{0};
+    pthread_t handle{};
+  };
+
+  void lock();
+  void unlock();
+  int register_current_thread();  // slow path; out of line
+  void deregister(int tid);
+
+  friend struct TidGuard;
+
+  Padded<Slot> slots_[kMaxThreads];
+  std::atomic<int> max_tid_{-1};
+  std::atomic<int> live_{0};
+  std::atomic<bool> mu_{false};
+};
+
+// Convenience: dense id of the calling thread. One TLS load when cached.
+inline int my_tid() {
+  const int t = detail::t_cached_tid;
+  return t >= 0 ? t : ThreadRegistry::instance().my_tid();
+}
+
+}  // namespace pop::runtime

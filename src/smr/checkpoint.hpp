@@ -1,0 +1,31 @@
+// POPSMR_CHECKPOINT — operation checkpoint for neutralization-based
+// schemes (NBR+). Must be expanded *inside the operation's own stack
+// frame*, after the Guard and before the traversal:
+//
+//   typename Smr::Guard g(smr);
+//  retry:
+//   POPSMR_CHECKPOINT(smr);
+//   ... read phase (traversal) ...
+//   smr.enter_write_phase({p, q}); ... writes ...; // or end of op
+//
+// For schemes with kNeutralizes == false the macro compiles to nothing
+// (if constexpr in a template context discards the branch without
+// instantiation). For NBR it arms a sigsetjmp target the signal handler
+// longjmps to; every local used afterwards must be (re)initialized after
+// the macro, which the bundled data structures guarantee by restarting
+// their traversals from scratch.
+//
+// sigsetjmp is called with savemask=0 (no sigprocmask syscall on the hot
+// path); the handler re-enables the ping signal itself before jumping.
+#pragma once
+
+#include <csetjmp>
+#include <type_traits>
+
+#define POPSMR_CHECKPOINT(smr_ref)                                        \
+  do {                                                                    \
+    if constexpr (std::decay_t<decltype(smr_ref)>::kNeutralizes) {        \
+      if (sigsetjmp((smr_ref).jmp_env(), 0) != 0) (smr_ref).on_restart(); \
+      (smr_ref).arm_read_phase();                                         \
+    }                                                                     \
+  } while (0)

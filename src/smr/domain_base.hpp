@@ -1,0 +1,136 @@
+// DomainCore: bookkeeping shared by every reclamation scheme — per-thread
+// retire lists, statistics, attach/detach flags, node construction with
+// era stamping, and teardown draining.
+//
+// A *domain* is one reclamation instance; a data structure owns exactly
+// one. Threads attach lazily on their first operation. All per-thread
+// state is indexed by the dense runtime::my_tid().
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <utility>
+
+#include "runtime/padded.hpp"
+#include "runtime/pool_alloc.hpp"
+#include "runtime/thread_registry.hpp"
+#include "smr/retire_list.hpp"
+#include "smr/smr_config.hpp"
+
+namespace pop::smr {
+
+class DomainCore {
+ public:
+  explicit DomainCore(const SmrConfig& cfg) : cfg_(cfg) {}
+
+  ~DomainCore() {
+    // The owning data structure has been (or is being) destroyed: nothing
+    // can still hold references, so drain every retire list.
+    for (int t = 0; t < runtime::kMaxThreads; ++t) {
+      auto& pt = *pt_[t];
+      pt.stats.freed += pt.retire.drain();
+    }
+  }
+
+  const SmrConfig& config() const { return cfg_; }
+
+  // True exactly once per (thread, domain): the caller runs its
+  // scheme-specific attach work when this returns true.
+  bool attach_if_new(int tid) {
+    auto& pt = *pt_[tid];
+    if (pt.attached.load(std::memory_order_relaxed)) return false;
+    pt.attached.store(true, std::memory_order_release);
+    return true;
+  }
+
+  void mark_detached(int tid) {
+    pt_[tid]->attached.store(false, std::memory_order_release);
+  }
+
+  bool attached(int tid) const {
+    return pt_[tid]->attached.load(std::memory_order_acquire);
+  }
+
+  // Allocates and constructs a node, stamping its birth era.
+  template <class T, class... Args>
+  T* create_node(uint64_t birth_era, Args&&... args) {
+    static_assert(std::is_base_of_v<Reclaimable, T>,
+                  "SMR-managed nodes must derive from smr::Reclaimable");
+    T* n = runtime::PoolAllocator::instance().create<T>(
+        std::forward<Args>(args)...);
+    n->birth_era = birth_era;
+    n->deleter = [](Reclaimable* r) {
+      runtime::PoolAllocator::instance().destroy(static_cast<T*>(r));
+    };
+    return n;
+  }
+
+  // Appends to the caller's retire list; returns the new length.
+  uint64_t retire_push(int tid, Reclaimable* n, uint64_t retire_era) {
+    auto& pt = *pt_[tid];
+    n->retire_era = retire_era;
+    pt.retire.push(n);
+    pt.stats.retired += 1;
+    if (pt.retire.length() > pt.stats.max_retire_len) {
+      pt.stats.max_retire_len = pt.retire.length();
+    }
+    return pt.retire.length();
+  }
+
+  // Monotonic per-thread retire counter. Schemes whose reclamation pass
+  // is expensive (the POP handshake, NBR's ack round) or whose sweeps can
+  // legitimately keep nodes pinned (era schemes: any long-lived node's
+  // lifespan intersects every current reservation) must trigger on this
+  // — "one pass every threshold retires" — rather than on list length:
+  // a length trigger re-runs the full pass on *every* retire once the
+  // pinned population alone reaches the threshold, a reclamation storm
+  // that degrades era-based publish-on-ping into a livelock.
+  uint64_t retire_tick(int tid) { return ++pt_[tid]->retire_count; }
+
+  RetireList& retire_list(int tid) { return pt_[tid]->retire; }
+  ThreadStats& stats(int tid) { return pt_[tid]->stats; }
+
+  StatsSnapshot stats_snapshot() const {
+    StatsSnapshot s;
+    for (int t = 0; t < runtime::kMaxThreads; ++t) s.absorb(pt_[t]->stats);
+    return s;
+  }
+
+  DomainCore(const DomainCore&) = delete;
+  DomainCore& operator=(const DomainCore&) = delete;
+
+ private:
+  struct PerThread {
+    RetireList retire;
+    ThreadStats stats;
+    uint64_t retire_count = 0;  // owner-thread only
+    std::atomic<bool> attached{false};
+  };
+
+  SmrConfig cfg_;
+  runtime::Padded<PerThread> pt_[runtime::kMaxThreads];
+};
+
+// Frees a node that was created but never published into the shared
+// structure (e.g. a failed insert's fresh node): no reclamation protocol
+// is needed because no other thread can have seen it.
+template <class T>
+void destroy_unpublished(T* p) noexcept {
+  runtime::PoolAllocator::instance().destroy(p);
+}
+
+// RAII operation bracket used by the data structures:
+//   typename Smr::Guard g(smr);
+template <class Domain>
+class OpGuard {
+ public:
+  explicit OpGuard(Domain& d) : d_(d) { d_.begin_op(); }
+  ~OpGuard() { d_.end_op(); }
+  OpGuard(const OpGuard&) = delete;
+  OpGuard& operator=(const OpGuard&) = delete;
+
+ private:
+  Domain& d_;
+};
+
+}  // namespace pop::smr

@@ -1,0 +1,112 @@
+// EBR — epoch-based reclamation, RCU style (the paper's Algorithm 6, the
+// substrate of EpochPOP's fast path).
+//
+// A thread announces the global epoch on operation entry and announces
+// quiescence (kQuiescent) on exit; one announcement fence per *operation*
+// instead of per read. A reclaimer frees nodes retired before the minimum
+// announced epoch. Not robust: a thread parked inside an operation pins
+// the minimum epoch and stops all reclamation — the failure mode EpochPOP
+// exists to fix (and which tests/smr_robustness demonstrates).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "smr/domain_base.hpp"
+#include "smr/tagged.hpp"
+
+namespace pop::smr {
+
+class EbrDomain {
+ public:
+  static constexpr const char* kName = "EBR";
+  static constexpr bool kNeutralizes = false;
+  using Guard = OpGuard<EbrDomain>;
+  static constexpr uint64_t kQuiescent = UINT64_MAX;
+
+  explicit EbrDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+
+  void attach() {
+    const int tid = runtime::my_tid();
+    if (core_.attach_if_new(tid)) {
+      reserved_[tid]->store(kQuiescent, std::memory_order_release);
+    }
+  }
+  void detach() {
+    const int tid = runtime::my_tid();
+    reserved_[tid]->store(kQuiescent, std::memory_order_release);
+    core_.mark_detached(tid);
+  }
+
+  void begin_op() {
+    attach();
+    const int tid = runtime::my_tid();
+    if (++op_counter_[tid]->v % core_.config().epoch_freq == 0) {
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    // seq_cst store: announcement ordered before the operation's reads.
+    reserved_[tid]->store(epoch_.load(std::memory_order_acquire),
+                          std::memory_order_seq_cst);
+  }
+
+  void end_op() {
+    reserved_[runtime::my_tid()]->store(kQuiescent,
+                                        std::memory_order_release);
+  }
+
+  template <class T>
+  T* protect(int /*slot*/, const std::atomic<T*>& src) {
+    return src.load(std::memory_order_acquire);  // epoch covers the read
+  }
+  void copy_slot(int /*dst*/, int /*src*/) {}
+  void clear() {}
+
+  template <class T, class... Args>
+  T* create(Args&&... args) {
+    return core_.create_node<T>(epoch_.load(std::memory_order_acquire),
+                                std::forward<Args>(args)...);
+  }
+
+  void retire(Reclaimable* n) {
+    const int tid = runtime::my_tid();
+    const uint64_t e = epoch_.load(std::memory_order_acquire);
+    if (core_.retire_push(tid, n, e) % core_.config().retire_threshold == 0) {
+      scan(tid);
+    }
+  }
+
+  void enter_write_phase(std::initializer_list<const Reclaimable*> = {}) {}
+  void exit_write_phase() {}
+
+  StatsSnapshot stats() const { return core_.stats_snapshot(); }
+  const SmrConfig& config() const { return core_.config(); }
+  uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void scan(int tid) {
+    uint64_t min_reserved = kQuiescent;
+    const int hi = runtime::ThreadRegistry::instance().max_tid();
+    for (int t = 0; t <= hi; ++t) {
+      const uint64_t r = reserved_[t]->load(std::memory_order_acquire);
+      if (r < min_reserved) min_reserved = r;
+    }
+    auto& st = core_.stats(tid);
+    st.scans += 1;
+    st.freed += core_.retire_list(tid).sweep([&](Reclaimable* node) {
+      return node->retire_era < min_reserved;
+    });
+  }
+
+  struct Counter {
+    uint64_t v = 0;
+  };
+
+  DomainCore core_;
+  std::atomic<uint64_t> epoch_{1};
+  runtime::Padded<std::atomic<uint64_t>> reserved_[runtime::kMaxThreads];
+  runtime::Padded<Counter> op_counter_[runtime::kMaxThreads];
+};
+
+}  // namespace pop::smr

@@ -1,0 +1,104 @@
+// HE — hazard eras (Ramalhete & Correia; the paper's Algorithm 4).
+//
+// Threads reserve monotonically increasing *eras* instead of pointers.
+// Each node records its lifespan [birth_era, retire_era]; a node is
+// freeable when no reserved era intersects that lifespan. The per-read
+// fence is needed only when the global era changed since the slot's last
+// reservation, which amortizes fencing — but, as the paper measures, the
+// residual cost is still substantial and a reserved era pins every node
+// whose lifetime intersects it.
+#pragma once
+
+#include <atomic>
+
+#include "smr/domain_base.hpp"
+#include "smr/hp_slots.hpp"
+#include "smr/tagged.hpp"
+
+namespace pop::smr {
+
+class HeDomain {
+ public:
+  static constexpr const char* kName = "HE";
+  static constexpr bool kNeutralizes = false;
+  using Guard = OpGuard<HeDomain>;
+  static constexpr uintptr_t kNoEra = 0;
+
+  explicit HeDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+
+  void attach() { core_.attach_if_new(runtime::my_tid()); }
+  void detach() {
+    const int tid = runtime::my_tid();
+    slots_.clear_row(tid, core_.config().num_slots);
+    core_.mark_detached(tid);
+  }
+
+  void begin_op() { attach(); }
+  void end_op() { clear(); }
+
+  template <class T>
+  T* protect(int slot, const std::atomic<T*>& src) {
+    const int tid = runtime::my_tid();
+    uintptr_t prev = slots_.at(tid, slot).load(std::memory_order_relaxed);
+    for (;;) {
+      T* p = src.load(std::memory_order_acquire);
+      const uint64_t e = era_.load(std::memory_order_acquire);
+      if (e == prev) return p;  // era unchanged: reservation already covers p
+      slots_.at(tid, slot).store(e, std::memory_order_seq_cst);  // fence
+      prev = e;
+    }
+  }
+
+  void copy_slot(int dst, int src) {
+    const int tid = runtime::my_tid();
+    slots_.at(tid, dst).store(
+        slots_.at(tid, src).load(std::memory_order_relaxed),
+        std::memory_order_release);
+  }
+
+  void clear() {
+    slots_.clear_row(runtime::my_tid(), core_.config().num_slots);
+  }
+
+  template <class T, class... Args>
+  T* create(Args&&... args) {
+    return core_.create_node<T>(era_.load(std::memory_order_acquire),
+                                std::forward<Args>(args)...);
+  }
+
+  void retire(Reclaimable* n) {
+    const int tid = runtime::my_tid();
+    const uint64_t e = era_.load(std::memory_order_acquire);
+    core_.retire_push(tid, n, e);
+    if (core_.retire_tick(tid) % core_.config().retire_threshold == 0) {
+      era_.fetch_add(1, std::memory_order_acq_rel);  // Alg. 4 line 21
+      scan(tid);
+    }
+  }
+
+  void enter_write_phase(std::initializer_list<const Reclaimable*> = {}) {}
+  void exit_write_phase() {}
+
+  StatsSnapshot stats() const { return core_.stats_snapshot(); }
+  const SmrConfig& config() const { return core_.config(); }
+  uint64_t current_era() const { return era_.load(std::memory_order_acquire); }
+
+ private:
+  void scan(int tid) {
+    uintptr_t eras[runtime::kMaxThreads * kMaxSlots];
+    const int n = slots_.collect(core_.config().num_slots, eras);  // sorted
+    auto& st = core_.stats(tid);
+    st.scans += 1;
+    st.freed += core_.retire_list(tid).sweep([&](Reclaimable* node) {
+      // Freeable iff no reserved era e with birth <= e <= retire.
+      const uintptr_t* lo = std::lower_bound(eras, eras + n, node->birth_era);
+      return lo == eras + n || *lo > node->retire_era;
+    });
+  }
+
+  DomainCore core_;
+  SlotTable slots_;                    // slot values are eras
+  std::atomic<uint64_t> era_{1};       // 0 is reserved for "no era"
+};
+
+}  // namespace pop::smr

@@ -1,0 +1,98 @@
+// HP — Michael's hazard pointers (the paper's baseline, §2.1).
+//
+// Every read of a new shared pointer (1) stores it into a SWMR slot,
+// (2) executes a StoreLoad fence (the seq_cst store below compiles to a
+// single xchg/mov+mfence on x86 — the exact cost the paper attributes to
+// HP), and (3) re-reads the source pointer to validate that the target was
+// still reachable after the reservation became visible. A reclaimer scans
+// all slots and frees only unreserved retired nodes.
+#pragma once
+
+#include <atomic>
+
+#include "smr/domain_base.hpp"
+#include "smr/hp_slots.hpp"
+#include "smr/tagged.hpp"
+
+namespace pop::smr {
+
+class HpDomain {
+ public:
+  static constexpr const char* kName = "HP";
+  static constexpr bool kNeutralizes = false;
+  using Guard = OpGuard<HpDomain>;
+
+  explicit HpDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+
+  void attach() { core_.attach_if_new(runtime::my_tid()); }
+  void detach() {
+    const int tid = runtime::my_tid();
+    slots_.clear_row(tid, core_.config().num_slots);
+    core_.mark_detached(tid);
+  }
+
+  void begin_op() { attach(); }
+  void end_op() { clear(); }
+
+  template <class T>
+  T* protect(int slot, const std::atomic<T*>& src) {
+    const int tid = runtime::my_tid();
+    T* p = src.load(std::memory_order_acquire);
+    for (;;) {
+      // seq_cst store: publish + StoreLoad fence in one instruction.
+      slots_.at(tid, slot).store(
+          reinterpret_cast<uintptr_t>(strip_mark(p)),
+          std::memory_order_seq_cst);
+      T* q = src.load(std::memory_order_acquire);
+      if (q == p) return p;
+      p = q;
+    }
+  }
+
+  void copy_slot(int dst, int src) {
+    const int tid = runtime::my_tid();
+    slots_.at(tid, dst).store(
+        slots_.at(tid, src).load(std::memory_order_relaxed),
+        std::memory_order_release);
+  }
+
+  void clear() {
+    slots_.clear_row(runtime::my_tid(), core_.config().num_slots);
+  }
+
+  template <class T, class... Args>
+  T* create(Args&&... args) {
+    return core_.create_node<T>(0, std::forward<Args>(args)...);
+  }
+
+  void retire(Reclaimable* n) {
+    const int tid = runtime::my_tid();
+    core_.retire_push(tid, n, 0);
+    if (core_.retire_tick(tid) % core_.config().retire_threshold == 0) {
+      scan(tid);
+    }
+  }
+
+  void enter_write_phase(std::initializer_list<const Reclaimable*> = {}) {}
+  void exit_write_phase() {}
+
+  StatsSnapshot stats() const { return core_.stats_snapshot(); }
+  const SmrConfig& config() const { return core_.config(); }
+
+ private:
+  void scan(int tid) {
+    uintptr_t reserved[runtime::kMaxThreads * kMaxSlots];
+    const int n = slots_.collect(core_.config().num_slots, reserved);
+    auto& st = core_.stats(tid);
+    st.scans += 1;
+    st.freed += core_.retire_list(tid).sweep([&](Reclaimable* node) {
+      return !SlotTable::contains(reserved, n,
+                                  reinterpret_cast<uintptr_t>(node));
+    });
+  }
+
+  DomainCore core_;
+  SlotTable slots_;
+};
+
+}  // namespace pop::smr

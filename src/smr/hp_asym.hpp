@@ -1,0 +1,108 @@
+// HPAsym — hazard pointers with an asymmetric process-wide barrier, the
+// optimized Folly-style implementation the paper adds to the NBR benchmark
+// (§5: "an optimized Linux sys_membarrier-based version of HP").
+//
+// Readers publish reservations with a plain store and a compiler-only
+// barrier; the StoreLoad ordering that classic HP buys with a per-read
+// fence is supplied once per reclamation pass by a heavy process-wide
+// fence (sys_membarrier, or a signal broadcast where the syscall is
+// unavailable). Either the reader's reservation is visible to the scan, or
+// the reader's validation re-read observes the unlink and retries.
+#pragma once
+
+#include <atomic>
+
+#include "runtime/asym_fence.hpp"
+#include "smr/domain_base.hpp"
+#include "smr/hp_slots.hpp"
+#include "smr/tagged.hpp"
+
+namespace pop::smr {
+
+class HpAsymDomain {
+ public:
+  static constexpr const char* kName = "HPAsym";
+  static constexpr bool kNeutralizes = false;
+  using Guard = OpGuard<HpAsymDomain>;
+
+  explicit HpAsymDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+
+  void attach() {
+    if (core_.attach_if_new(runtime::my_tid())) {
+      // The signal-broadcast fallback must be able to reach this thread.
+      runtime::detail::attach_barrier_client_for_current_thread();
+    }
+  }
+  void detach() {
+    const int tid = runtime::my_tid();
+    slots_.clear_row(tid, core_.config().num_slots);
+    core_.mark_detached(tid);
+  }
+
+  void begin_op() { attach(); }
+  void end_op() { clear(); }
+
+  template <class T>
+  T* protect(int slot, const std::atomic<T*>& src) {
+    const int tid = runtime::my_tid();
+    T* p = src.load(std::memory_order_acquire);
+    for (;;) {
+      slots_.at(tid, slot).store(
+          reinterpret_cast<uintptr_t>(strip_mark(p)),
+          std::memory_order_release);
+      runtime::AsymFence::light_fence();  // compiler barrier only
+      T* q = src.load(std::memory_order_acquire);
+      if (q == p) return p;
+      p = q;
+    }
+  }
+
+  void copy_slot(int dst, int src) {
+    const int tid = runtime::my_tid();
+    slots_.at(tid, dst).store(
+        slots_.at(tid, src).load(std::memory_order_relaxed),
+        std::memory_order_release);
+  }
+
+  void clear() {
+    slots_.clear_row(runtime::my_tid(), core_.config().num_slots);
+  }
+
+  template <class T, class... Args>
+  T* create(Args&&... args) {
+    return core_.create_node<T>(0, std::forward<Args>(args)...);
+  }
+
+  void retire(Reclaimable* n) {
+    const int tid = runtime::my_tid();
+    core_.retire_push(tid, n, 0);
+    if (core_.retire_tick(tid) % core_.config().retire_threshold == 0) {
+      scan(tid);
+    }
+  }
+
+  void enter_write_phase(std::initializer_list<const Reclaimable*> = {}) {}
+  void exit_write_phase() {}
+
+  StatsSnapshot stats() const { return core_.stats_snapshot(); }
+  const SmrConfig& config() const { return core_.config(); }
+
+ private:
+  void scan(int tid) {
+    // Make every reader's published-but-unfenced reservation visible.
+    runtime::AsymFence::instance().heavy_fence();
+    uintptr_t reserved[runtime::kMaxThreads * kMaxSlots];
+    const int n = slots_.collect(core_.config().num_slots, reserved);
+    auto& st = core_.stats(tid);
+    st.scans += 1;
+    st.freed += core_.retire_list(tid).sweep([&](Reclaimable* node) {
+      return !SlotTable::contains(reserved, n,
+                                  reinterpret_cast<uintptr_t>(node));
+    });
+  }
+
+  DomainCore core_;
+  SlotTable slots_;
+};
+
+}  // namespace pop::smr

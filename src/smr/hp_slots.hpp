@@ -1,0 +1,59 @@
+// Shared SWMR reservation slot array used by the eagerly-publishing
+// pointer/era schemes (HP, HPAsym, HE) and by the POP engine's shared
+// side. Values are opaque uintptr_t: node addresses for pointer schemes,
+// era numbers for era schemes.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/padded.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace pop::smr {
+
+inline constexpr int kMaxSlots = 8;
+
+class SlotTable {
+ public:
+  std::atomic<uintptr_t>& at(int tid, int slot) {
+    return rows_[tid]->s[slot];
+  }
+  const std::atomic<uintptr_t>& at(int tid, int slot) const {
+    return rows_[tid]->s[slot];
+  }
+
+  void clear_row(int tid, int nslots) {
+    for (int s = 0; s < nslots; ++s) {
+      rows_[tid]->s[s].store(0, std::memory_order_release);
+    }
+  }
+
+  // Appends every non-zero value into `out` (caller-provided buffer of at
+  // least kMaxThreads*nslots entries); returns the count.
+  int collect(int nslots, uintptr_t* out) const {
+    int n = 0;
+    const int hi = runtime::ThreadRegistry::instance().max_tid();
+    for (int t = 0; t <= hi; ++t) {
+      for (int s = 0; s < nslots; ++s) {
+        const uintptr_t v = rows_[t]->s[s].load(std::memory_order_acquire);
+        if (v != 0) out[n++] = v;
+      }
+    }
+    std::sort(out, out + n);
+    return n;
+  }
+
+  static bool contains(const uintptr_t* sorted, int n, uintptr_t v) {
+    return std::binary_search(sorted, sorted + n, v);
+  }
+
+ private:
+  struct Row {
+    std::atomic<uintptr_t> s[kMaxSlots] = {};
+  };
+  runtime::Padded<Row> rows_[runtime::kMaxThreads];
+};
+
+}  // namespace pop::smr

@@ -1,0 +1,131 @@
+// BRC — batched reference-counted reclamation, the repo's stand-in for
+// Crystalline (appendix Figures 10-11; see DESIGN.md §5).
+//
+// Crystalline/Hyaline free a retired batch when the last reader that
+// could reference it departs, using distributed reference counts instead
+// of reservation scans. We reproduce that *shape* with an SRCU-style
+// two-phase scheme: readers announce entry/exit on per-thread sharded
+// counters tagged with the current phase; a reclaimer flips the phase and
+// waits until both phases drain (two grace periods), after which every
+// node retired before the flip is unreferenced and the whole batch is
+// freed at once.
+//
+// Reader cost: one SWMR counter store + fence per operation (no per-read
+// work) — the same fast-reader/low-memory profile the Crystalline
+// comparison exhibits. Like EBR it is not robust: a parked reader delays
+// grace periods (the bench harness reports this in the memory metrics).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/backoff.hpp"
+#include "smr/domain_base.hpp"
+#include "smr/tagged.hpp"
+
+namespace pop::smr {
+
+class BrcDomain {
+ public:
+  static constexpr const char* kName = "BRC";
+  static constexpr bool kNeutralizes = false;
+  using Guard = OpGuard<BrcDomain>;
+
+  explicit BrcDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+
+  void attach() { core_.attach_if_new(runtime::my_tid()); }
+  void detach() { core_.mark_detached(runtime::my_tid()); }
+
+  void begin_op() {
+    attach();
+    const int tid = runtime::my_tid();
+    auto& pt = *pt_[tid];
+    const uint32_t p = phase_.load(std::memory_order_acquire) & 1u;
+    pt.my_phase = p;
+    // seq_cst: entry announcement ordered before the operation's reads.
+    pt.enters[p].store(pt.enters[p].load(std::memory_order_relaxed) + 1,
+                       std::memory_order_seq_cst);
+  }
+
+  void end_op() {
+    const int tid = runtime::my_tid();
+    auto& pt = *pt_[tid];
+    const uint32_t p = pt.my_phase;
+    pt.exits[p].store(pt.exits[p].load(std::memory_order_relaxed) + 1,
+                      std::memory_order_release);
+    // Grace periods block, so they must run outside the critical section:
+    // a reclaimer waiting for readers while itself counted as a reader
+    // would deadlock against a second reclaimer doing the same.
+    if (pt.reclaim_pending) {
+      pt.reclaim_pending = false;
+      reclaim(tid);
+    }
+  }
+
+  template <class T>
+  T* protect(int /*slot*/, const std::atomic<T*>& src) {
+    return src.load(std::memory_order_acquire);
+  }
+  void copy_slot(int /*dst*/, int /*src*/) {}
+  void clear() {}
+
+  template <class T, class... Args>
+  T* create(Args&&... args) {
+    return core_.create_node<T>(0, std::forward<Args>(args)...);
+  }
+
+  void retire(Reclaimable* n) {
+    const int tid = runtime::my_tid();
+    if (core_.retire_push(tid, n, 0) >= core_.config().retire_threshold) {
+      pt_[tid]->reclaim_pending = true;  // executed at end_op
+    }
+  }
+
+  void enter_write_phase(std::initializer_list<const Reclaimable*> = {}) {}
+  void exit_write_phase() {}
+
+  StatsSnapshot stats() const { return core_.stats_snapshot(); }
+  const SmrConfig& config() const { return core_.config(); }
+
+ private:
+  // Two grace periods: after both, every reader that was in a critical
+  // section when reclaim() began has exited, so every node unlinked and
+  // retired before that point is unreferenced.
+  void reclaim(int tid) {
+    for (int round = 0; round < 2; ++round) {
+      const uint32_t old_phase = phase_.fetch_add(1, std::memory_order_acq_rel) & 1u;
+      drain(old_phase, tid);
+    }
+    auto& st = core_.stats(tid);
+    st.scans += 1;
+    st.freed += core_.retire_list(tid).sweep([](Reclaimable*) { return true; });
+  }
+
+  void drain(uint32_t p, int /*self*/) {
+    const int hi = runtime::ThreadRegistry::instance().max_tid();
+    for (int t = 0; t <= hi; ++t) {
+      auto& pt = *pt_[t];
+      runtime::SpinThenYield waiter;
+      // Late entries into phase p (threads that read the phase just before
+      // the flip) still increment enters[p] and eventually exits[p]; spin
+      // until the shard balances.
+      while (pt.exits[p].load(std::memory_order_acquire) !=
+             pt.enters[p].load(std::memory_order_acquire)) {
+        waiter.wait();
+      }
+    }
+  }
+
+  struct PerThread {
+    std::atomic<uint64_t> enters[2] = {};
+    std::atomic<uint64_t> exits[2] = {};
+    uint32_t my_phase = 0;
+    bool reclaim_pending = false;
+  };
+
+  DomainCore core_;
+  std::atomic<uint32_t> phase_{0};
+  runtime::Padded<PerThread> pt_[runtime::kMaxThreads];
+};
+
+}  // namespace pop::smr

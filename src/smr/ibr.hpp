@@ -1,0 +1,135 @@
+// IBR — interval-based reclamation (Wen et al., PPoPP'18), the tagged
+// 2GE variant the paper benchmarks.
+//
+// Each thread publishes a reservation *interval* [lo, hi]: lo is the epoch
+// at operation start, hi grows to the current epoch whenever a read
+// observes an epoch change (fencing only then, like HE). The global epoch
+// advances every epoch_freq allocations. A node is freeable when its
+// lifespan [birth_era, retire_era] intersects no thread's interval —
+// robust like HE, with the same "pinned interval" garbage bound.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "smr/domain_base.hpp"
+#include "smr/tagged.hpp"
+
+namespace pop::smr {
+
+class IbrDomain {
+ public:
+  static constexpr const char* kName = "IBR";
+  static constexpr bool kNeutralizes = false;
+  using Guard = OpGuard<IbrDomain>;
+
+  explicit IbrDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+
+  void attach() {
+    const int tid = runtime::my_tid();
+    if (core_.attach_if_new(tid)) {
+      iv_[tid]->lo.store(kEmptyLo, std::memory_order_release);
+      iv_[tid]->hi.store(0, std::memory_order_release);
+    }
+  }
+  void detach() {
+    quiesce(runtime::my_tid());
+    core_.mark_detached(runtime::my_tid());
+  }
+
+  void begin_op() {
+    attach();
+    const int tid = runtime::my_tid();
+    const uint64_t e = epoch_.load(std::memory_order_acquire);
+    iv_[tid]->hi.store(e, std::memory_order_relaxed);
+    iv_[tid]->lo.store(e, std::memory_order_seq_cst);  // one fence per op
+  }
+
+  void end_op() { quiesce(runtime::my_tid()); }
+
+  template <class T>
+  T* protect(int /*slot*/, const std::atomic<T*>& src) {
+    const int tid = runtime::my_tid();
+    for (;;) {
+      T* p = src.load(std::memory_order_acquire);
+      const uint64_t e = epoch_.load(std::memory_order_acquire);
+      if (iv_[tid]->hi.load(std::memory_order_relaxed) == e) return p;
+      iv_[tid]->hi.store(e, std::memory_order_seq_cst);  // epoch moved: fence
+    }
+  }
+  void copy_slot(int /*dst*/, int /*src*/) {}
+  void clear() {}
+
+  template <class T, class... Args>
+  T* create(Args&&... args) {
+    const int tid = runtime::my_tid();
+    if (++alloc_counter_[tid]->v % core_.config().epoch_freq == 0) {
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    return core_.create_node<T>(epoch_.load(std::memory_order_acquire),
+                                std::forward<Args>(args)...);
+  }
+
+  void retire(Reclaimable* n) {
+    const int tid = runtime::my_tid();
+    const uint64_t e = epoch_.load(std::memory_order_acquire);
+    core_.retire_push(tid, n, e);
+    if (core_.retire_tick(tid) % core_.config().retire_threshold == 0) {
+      scan(tid);
+    }
+  }
+
+  void enter_write_phase(std::initializer_list<const Reclaimable*> = {}) {}
+  void exit_write_phase() {}
+
+  StatsSnapshot stats() const { return core_.stats_snapshot(); }
+  const SmrConfig& config() const { return core_.config(); }
+
+ private:
+  // Empty interval: lo > hi, intersects nothing.
+  static constexpr uint64_t kEmptyLo = UINT64_MAX;
+
+  void quiesce(int tid) {
+    iv_[tid]->hi.store(0, std::memory_order_relaxed);
+    iv_[tid]->lo.store(kEmptyLo, std::memory_order_release);
+  }
+
+  void scan(int tid) {
+    struct Range {
+      uint64_t lo, hi;
+    };
+    Range rs[runtime::kMaxThreads];
+    const int hi_tid = runtime::ThreadRegistry::instance().max_tid();
+    int n = 0;
+    for (int t = 0; t <= hi_tid; ++t) {
+      const uint64_t lo = iv_[t]->lo.load(std::memory_order_acquire);
+      const uint64_t h = iv_[t]->hi.load(std::memory_order_acquire);
+      if (lo <= h) rs[n++] = {lo, h};
+    }
+    auto& st = core_.stats(tid);
+    st.scans += 1;
+    st.freed += core_.retire_list(tid).sweep([&](Reclaimable* node) {
+      for (int i = 0; i < n; ++i) {
+        if (node->birth_era <= rs[i].hi && rs[i].lo <= node->retire_era) {
+          return false;  // lifespan intersects a reserved interval
+        }
+      }
+      return true;
+    });
+  }
+
+  struct Interval {
+    std::atomic<uint64_t> lo{kEmptyLo};
+    std::atomic<uint64_t> hi{0};
+  };
+  struct Counter {
+    uint64_t v = 0;
+  };
+
+  DomainCore core_;
+  std::atomic<uint64_t> epoch_{1};
+  runtime::Padded<Interval> iv_[runtime::kMaxThreads];
+  runtime::Padded<Counter> alloc_counter_[runtime::kMaxThreads];
+};
+
+}  // namespace pop::smr

@@ -1,0 +1,55 @@
+// NR — no reclamation (leaky baseline).
+//
+// Retired nodes are counted but never freed during the run; the paper uses
+// NR as the zero-overhead upper bound ("a rough baseline"). Everything is
+// drained when the domain is destroyed so tests do not leak.
+#pragma once
+
+#include <atomic>
+
+#include "smr/domain_base.hpp"
+#include "smr/tagged.hpp"
+
+namespace pop::smr {
+
+class NrDomain {
+ public:
+  static constexpr const char* kName = "NR";
+  static constexpr bool kNeutralizes = false;
+  using Guard = OpGuard<NrDomain>;
+
+  explicit NrDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+
+  void attach() { core_.attach_if_new(runtime::my_tid()); }
+  void detach() { core_.mark_detached(runtime::my_tid()); }
+
+  void begin_op() { attach(); }
+  void end_op() {}
+
+  template <class T>
+  T* protect(int /*slot*/, const std::atomic<T*>& src) {
+    return src.load(std::memory_order_acquire);
+  }
+  void copy_slot(int /*dst*/, int /*src*/) {}
+  void clear() {}
+
+  template <class T, class... Args>
+  T* create(Args&&... args) {
+    return core_.create_node<T>(0, std::forward<Args>(args)...);
+  }
+
+  void retire(Reclaimable* n) {
+    core_.retire_push(runtime::my_tid(), n, 0);
+  }
+
+  void enter_write_phase(std::initializer_list<const Reclaimable*> = {}) {}
+  void exit_write_phase() {}
+
+  StatsSnapshot stats() const { return core_.stats_snapshot(); }
+  const SmrConfig& config() const { return core_.config(); }
+
+ private:
+  DomainCore core_;
+};
+
+}  // namespace pop::smr

@@ -1,0 +1,24 @@
+// Base header embedded in every node managed by an SMR domain.
+//
+// birth_era / retire_era support the era-based schemes (HE, IBR,
+// HazardEraPOP) which free a node only if no reservation intersects its
+// lifespan [birth_era, retire_era]. Pointer-based schemes ignore them.
+// rl_next links retired nodes into the owner's intrusive retire list so
+// retiring never allocates. deleter destroys the concrete node type.
+#pragma once
+
+#include <cstdint>
+
+namespace pop::smr {
+
+struct Reclaimable;
+using Deleter = void (*)(Reclaimable*) /*noexcept*/;
+
+struct Reclaimable {
+  uint64_t birth_era = 0;
+  uint64_t retire_era = 0;
+  Reclaimable* rl_next = nullptr;
+  Deleter deleter = nullptr;
+};
+
+}  // namespace pop::smr

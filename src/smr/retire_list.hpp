@@ -1,0 +1,57 @@
+// Intrusive per-thread retire list. Single-owner: only the owning thread
+// pushes and scans, so no synchronization is needed.
+#pragma once
+
+#include <cstdint>
+
+#include "smr/reclaimable.hpp"
+
+namespace pop::smr {
+
+class RetireList {
+ public:
+  void push(Reclaimable* n) noexcept {
+    n->rl_next = head_;
+    head_ = n;
+    ++len_;
+  }
+
+  uint64_t length() const noexcept { return len_; }
+  bool empty() const noexcept { return head_ == nullptr; }
+
+  // Walks the list; frees nodes where `can_free(node)` by invoking their
+  // deleter, keeps the rest. Returns the number freed.
+  template <class Pred>
+  uint64_t sweep(Pred&& can_free) noexcept {
+    Reclaimable* kept_head = nullptr;
+    uint64_t kept = 0;
+    uint64_t freed = 0;
+    Reclaimable* cur = head_;
+    while (cur != nullptr) {
+      Reclaimable* next = cur->rl_next;
+      if (can_free(cur)) {
+        cur->deleter(cur);
+        ++freed;
+      } else {
+        cur->rl_next = kept_head;
+        kept_head = cur;
+        ++kept;
+      }
+      cur = next;
+    }
+    head_ = kept_head;
+    len_ = kept;
+    return freed;
+  }
+
+  // Frees everything unconditionally (domain teardown).
+  uint64_t drain() noexcept {
+    return sweep([](Reclaimable*) { return true; });
+  }
+
+ private:
+  Reclaimable* head_ = nullptr;
+  uint64_t len_ = 0;
+};
+
+}  // namespace pop::smr

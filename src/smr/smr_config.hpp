@@ -1,0 +1,66 @@
+// Configuration and statistics shared by all reclamation schemes.
+#pragma once
+
+#include <cstdint>
+
+namespace pop::smr {
+
+struct SmrConfig {
+  // Reservation slots per thread (the paper's MAX_HP). The bundled data
+  // structures use at most 4.
+  int num_slots = 8;
+
+  // Retire-list length that triggers a reclamation pass (the paper's
+  // reclaimFreq; 24K in the main experiments, 2K in Figure 4).
+  uint64_t retire_threshold = 512;
+
+  // Operations between global-epoch advances for the epoch-based schemes
+  // (EBR, IBR, EpochPOP: epochFreq).
+  uint64_t epoch_freq = 64;
+
+  // EpochPOP's C: the POP fallback fires when the retire list reaches
+  // C * retire_threshold despite EBR-mode reclamation.
+  uint64_t pop_multiplier = 2;
+};
+
+// Per-thread counters; aggregated into a snapshot for reporting. Plain
+// u64s: each cell is written by its owning thread only (SWMR), torn reads
+// by reporting threads at quiescence are benign.
+struct ThreadStats {
+  uint64_t retired = 0;
+  uint64_t freed = 0;
+  uint64_t scans = 0;            // reclamation passes
+  uint64_t signals_sent = 0;     // pings issued as a reclaimer
+  uint64_t pings_received = 0;   // handler executions
+  uint64_t neutralized = 0;      // NBR restarts taken
+  uint64_t ebr_frees = 0;        // EpochPOP: freed on the epoch fast path
+  uint64_t pop_frees = 0;        // EpochPOP: freed via the POP fallback
+  uint64_t max_retire_len = 0;   // high-watermark of the retire list
+};
+
+struct StatsSnapshot {
+  uint64_t retired = 0;
+  uint64_t freed = 0;
+  uint64_t scans = 0;
+  uint64_t signals_sent = 0;
+  uint64_t pings_received = 0;
+  uint64_t neutralized = 0;
+  uint64_t ebr_frees = 0;
+  uint64_t pop_frees = 0;
+  uint64_t max_retire_len = 0;   // max over threads
+  uint64_t unreclaimed() const { return retired - freed; }
+
+  void absorb(const ThreadStats& t) {
+    retired += t.retired;
+    freed += t.freed;
+    scans += t.scans;
+    signals_sent += t.signals_sent;
+    pings_received += t.pings_received;
+    neutralized += t.neutralized;
+    ebr_frees += t.ebr_frees;
+    pop_frees += t.pop_frees;
+    if (t.max_retire_len > max_retire_len) max_retire_len = t.max_retire_len;
+  }
+};
+
+}  // namespace pop::smr

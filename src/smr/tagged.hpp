@@ -1,0 +1,27 @@
+// Low-bit pointer tagging shared by the SMR schemes and the lock-free data
+// structures. Bit 0 is the "marked" (logically deleted) bit; reservations
+// always store the stripped address while validation compares raw values.
+#pragma once
+
+#include <cstdint>
+
+namespace pop::smr {
+
+inline constexpr uintptr_t kMarkMask = 0x7;
+
+template <class T>
+T* strip_mark(T* p) noexcept {
+  return reinterpret_cast<T*>(reinterpret_cast<uintptr_t>(p) & ~kMarkMask);
+}
+
+template <class T>
+bool is_marked(T* p) noexcept {
+  return (reinterpret_cast<uintptr_t>(p) & 0x1) != 0;
+}
+
+template <class T>
+T* with_mark(T* p) noexcept {
+  return reinterpret_cast<T*>(reinterpret_cast<uintptr_t>(p) | 0x1);
+}
+
+}  // namespace pop::smr

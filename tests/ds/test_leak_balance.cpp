@@ -1,0 +1,76 @@
+// Leak accounting: after a data structure (and its domain) is destroyed,
+// every pool block it allocated must be back on a free list — the pool's
+// global allocated/freed counters balance. This catches nodes lost
+// outside any retire list (e.g. an unlink whose retire was skipped) for
+// every scheme, including the signal-driven ones.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "ds/iset.hpp"
+#include "runtime/pool_alloc.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/thread_registry.hpp"
+#include "../support/test_util.hpp"
+
+namespace pop::ds {
+namespace {
+
+class LeakBalance
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(LeakBalance, PoolBalancesAfterTeardown) {
+  const auto before = runtime::PoolAllocator::instance().stats();
+  {
+    SetConfig cfg;
+    cfg.capacity = 256;
+    cfg.smr.retire_threshold = 8;
+    cfg.smr.epoch_freq = 2;
+    auto s = make_set(std::get<0>(GetParam()), std::get<1>(GetParam()), cfg);
+    ASSERT_NE(s, nullptr);
+    std::atomic<int> arrived{0};
+    test::run_threads(3, [&](int w) {
+      (void)runtime::my_tid();
+      arrived.fetch_add(1);
+      while (arrived.load() < 3) std::this_thread::yield();
+      runtime::Xoshiro256 rng(31 + w);
+      for (int i = 0; i < 2500; ++i) {
+        const uint64_t k = rng.next_below(128);
+        const uint64_t dice = rng.next_below(100);
+        if (dice < 40) {
+          s->insert(k);
+        } else if (dice < 80) {
+          s->erase(k);
+        } else {
+          (void)s->contains(k);
+        }
+      }
+      s->detach_thread();
+    });
+    s->detach_thread();
+  }  // ISet destroyed: live nodes freed by the DS, retired by the domain
+  const auto after = runtime::PoolAllocator::instance().stats();
+  EXPECT_EQ(after.allocated_blocks - before.allocated_blocks,
+            after.freed_blocks - before.freed_blocks)
+      << "pool imbalance: some node was never freed (leak) for "
+      << std::get<0>(GetParam()) << "/" << std::get<1>(GetParam());
+}
+
+std::vector<std::tuple<std::string, std::string>> matrix() {
+  std::vector<std::tuple<std::string, std::string>> v;
+  for (const auto& ds : all_ds_names()) {
+    for (const auto& smr : all_smr_names()) v.emplace_back(ds, smr);
+  }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, LeakBalance, ::testing::ValuesIn(matrix()),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace pop::ds

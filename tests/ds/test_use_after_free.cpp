@@ -1,0 +1,84 @@
+// Use-after-free detection: the pool allocator's poison mode fills freed
+// payloads with a canary and aborts on double frees / corrupt headers.
+// Running hot mixed workloads under every scheme with reclamation forced
+// to be constant turns any premature free into a deterministic crash or a
+// poisoned-read assertion — this is the safety net behind the paper's
+// Property 2/4/6 claims.
+//
+// These tests set the process-global poison flag; gtest_discover_tests
+// runs each test in its own process, so other suites are unaffected.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <tuple>
+
+#include "ds/iset.hpp"
+#include "runtime/pool_alloc.hpp"
+#include "runtime/rng.hpp"
+#include "../support/test_util.hpp"
+
+namespace pop::ds {
+namespace {
+
+class PoisonedWorkload
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+ protected:
+  void SetUp() override { runtime::PoolAllocator::set_poison(true); }
+  void TearDown() override { runtime::PoolAllocator::set_poison(false); }
+};
+
+TEST_P(PoisonedWorkload, HotReclamationNeverServesPoisonedNodes) {
+  SetConfig cfg;
+  cfg.capacity = 256;
+  cfg.smr.retire_threshold = 4;  // reclaim as often as possible
+  cfg.smr.epoch_freq = 1;
+  cfg.smr.pop_multiplier = 2;
+  auto s = make_set(std::get<0>(GetParam()), std::get<1>(GetParam()), cfg);
+  ASSERT_NE(s, nullptr);
+
+  std::atomic<int64_t> net{0};
+  test::run_threads(4, [&](int w) {
+    runtime::Xoshiro256 rng(777 + w);
+    for (int i = 0; i < 3000; ++i) {
+      const uint64_t k = rng.next_below(128);
+      const uint64_t dice = rng.next_below(100);
+      if (dice < 35) {
+        if (s->insert(k)) net.fetch_add(1);
+      } else if (dice < 70) {
+        if (s->erase(k)) net.fetch_sub(1);
+      } else {
+        (void)s->contains(k);
+      }
+    }
+    s->detach_thread();
+  });
+  // Reaching here without the allocator aborting means no double free or
+  // header corruption; the final count check catches value corruption
+  // from reads of recycled nodes.
+  ASSERT_GE(net.load(), 0);  // erases only succeed on inserted keys
+  EXPECT_EQ(s->size_slow(), static_cast<uint64_t>(net.load()));
+  s->detach_thread();
+}
+
+// The poisoned matrix focuses on the schemes that actually free memory
+// during the run (NR never frees, so poison proves nothing for it).
+std::vector<std::tuple<std::string, std::string>> poison_matrix() {
+  std::vector<std::tuple<std::string, std::string>> v;
+  for (const auto& ds : all_ds_names()) {
+    for (const auto& smr : all_smr_names()) {
+      if (smr == "NR") continue;
+      v.emplace_back(ds, smr);
+    }
+  }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PoisonedWorkload, ::testing::ValuesIn(poison_matrix()),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace pop::ds

@@ -1,0 +1,51 @@
+// The drop-in-replacement claim, as a compile+runtime matrix: every DS
+// instantiates under every scheme through the public factory, reports the
+// right names, and performs basic operations.
+#include <gtest/gtest.h>
+
+#include "ds/iset.hpp"
+
+namespace pop::ds {
+namespace {
+
+TEST(FactoryMatrix, AllCombinationsConstructAndOperate) {
+  for (const auto& ds : all_ds_names()) {
+    for (const auto& smr : all_smr_names()) {
+      SetConfig cfg;
+      cfg.capacity = 128;
+      auto s = make_set(ds, smr, cfg);
+      ASSERT_NE(s, nullptr) << ds << "/" << smr;
+      EXPECT_EQ(s->ds_name(), ds);
+      EXPECT_EQ(s->smr_name(), smr);
+      EXPECT_TRUE(s->insert(1)) << ds << "/" << smr;
+      EXPECT_TRUE(s->contains(1)) << ds << "/" << smr;
+      EXPECT_TRUE(s->erase(1)) << ds << "/" << smr;
+      EXPECT_FALSE(s->contains(1)) << ds << "/" << smr;
+      EXPECT_EQ(s->size_slow(), 0u) << ds << "/" << smr;
+      s->detach_thread();
+    }
+  }
+}
+
+TEST(FactoryMatrix, UnknownNamesReturnNull) {
+  SetConfig cfg;
+  EXPECT_EQ(make_set("NOPE", "HP", cfg), nullptr);
+  EXPECT_EQ(make_set("HML", "NOPE", cfg), nullptr);
+}
+
+TEST(FactoryMatrix, ExpectedCatalogue) {
+  EXPECT_EQ(all_ds_names().size(), 5u);
+  EXPECT_EQ(all_smr_names().size(), 11u);
+}
+
+TEST(FactoryMatrix, StatsStartClean) {
+  SetConfig cfg;
+  auto s = make_set("HML", "HazardPtrPOP", cfg);
+  const auto st = s->smr_stats();
+  EXPECT_EQ(st.retired, 0u);
+  EXPECT_EQ(st.freed, 0u);
+  EXPECT_EQ(st.signals_sent, 0u);
+}
+
+}  // namespace
+}  // namespace pop::ds

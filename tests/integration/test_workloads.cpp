@@ -1,0 +1,115 @@
+// End-to-end runs of the benchmark driver itself: short timed workloads
+// across representative configurations, checking the metrics the figures
+// are built from (throughput > 0, retire-list bounds, signal counts).
+#include <gtest/gtest.h>
+
+#include "../../bench/driver.hpp"
+
+namespace pop::bench {
+namespace {
+
+WorkloadConfig base(const std::string& ds, const std::string& smr) {
+  WorkloadConfig c;
+  c.ds = ds;
+  c.smr = smr;
+  c.threads = 2;
+  c.key_range = 256;
+  c.duration_ms = 60;
+  c.smr_cfg.retire_threshold = 32;
+  return c;
+}
+
+TEST(Workloads, UpdateHeavyRunsForEveryScheme) {
+  for (const auto& smr : ds::all_smr_names()) {
+    WorkloadConfig c = base("HML", smr);
+    c.pct_insert = 50;
+    c.pct_erase = 50;
+    const auto r = run_workload(c);
+    EXPECT_GT(r.ops_total, 0u) << smr;
+    EXPECT_GT(r.mops, 0.0) << smr;
+    EXPECT_LE(r.final_size, c.key_range) << smr;
+  }
+}
+
+TEST(Workloads, ReadHeavyMixRespectsRatios) {
+  WorkloadConfig c = base("HMHT", "EpochPOP");
+  c.pct_insert = 5;
+  c.pct_erase = 5;
+  c.duration_ms = 100;
+  const auto r = run_workload(c);
+  ASSERT_GT(r.ops_total, 1000u);
+  const double read_frac =
+      static_cast<double>(r.reads_total) / static_cast<double>(r.ops_total);
+  EXPECT_NEAR(read_frac, 0.90, 0.05);
+}
+
+TEST(Workloads, SplitReadersWritersReportsReadThroughput) {
+  WorkloadConfig c = base("HML", "HazardPtrPOP");
+  c.split_readers_writers = true;
+  c.threads = 4;
+  c.key_range = 512;
+  c.writer_key_range = 32;
+  const auto r = run_workload(c);
+  EXPECT_GT(r.reads_total, 0u);
+  EXPECT_GT(r.updates_total, 0u);
+  EXPECT_GT(r.read_mops, 0.0);
+}
+
+TEST(Workloads, RetireThresholdBoundsRetireList) {
+  WorkloadConfig c = base("DGT", "HazardPtrPOP");
+  c.pct_insert = 50;
+  c.pct_erase = 50;
+  c.smr_cfg.retire_threshold = 64;
+  const auto r = run_workload(c);
+  // A delete retires 2 nodes, so the high-watermark may exceed the
+  // threshold by the per-op retire count but not run away.
+  EXPECT_LE(r.smr.max_retire_len, c.smr_cfg.retire_threshold + 8);
+}
+
+TEST(Workloads, PopSchemesSendSignalsOnlyWhenReclaiming) {
+  WorkloadConfig c = base("HML", "HazardPtrPOP");
+  c.pct_insert = 0;
+  c.pct_erase = 0;  // read-only: nothing retired, nobody pings
+  const auto r = run_workload(c);
+  EXPECT_EQ(r.smr.signals_sent, 0u);
+  EXPECT_EQ(r.smr.retired, 0u);
+}
+
+TEST(Workloads, UpdateHeavyPopSchemesDoSignal) {
+  WorkloadConfig c = base("HML", "HazardPtrPOP");
+  c.pct_insert = 50;
+  c.pct_erase = 50;
+  c.smr_cfg.retire_threshold = 16;
+  const auto r = run_workload(c);
+  EXPECT_GT(r.smr.signals_sent, 0u);
+  EXPECT_GT(r.smr.freed, 0u);
+}
+
+TEST(Workloads, NbrNeutralizesUnderChurn) {
+  WorkloadConfig c = base("HML", "NBR");
+  c.split_readers_writers = true;
+  c.threads = 4;
+  c.key_range = 4096;  // long traversals for the readers
+  c.writer_key_range = 16;
+  c.smr_cfg.retire_threshold = 16;  // constant reclaims => constant pings
+  c.duration_ms = 150;
+  const auto r = run_workload(c);
+  EXPECT_GT(r.smr.neutralized, 0u)
+      << "long readers must get restarted by NBR reclaimers";
+}
+
+TEST(Workloads, EnvListHelpersParse) {
+  setenv("POPSMR_BENCH_THREADS", "1,3,5", 1);
+  const auto ts = bench_thread_list("2,4");
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[0], 1);
+  EXPECT_EQ(ts[2], 5);
+  unsetenv("POPSMR_BENCH_THREADS");
+  const auto ts2 = bench_thread_list("2,4");
+  ASSERT_EQ(ts2.size(), 2u);
+  EXPECT_EQ(ts2[1], 4);
+  EXPECT_FALSE(bench_smr_list().empty());
+}
+
+}  // namespace
+}  // namespace pop::bench

@@ -1,0 +1,42 @@
+#include "runtime/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace pop::runtime {
+namespace {
+
+TEST(Env, FallbackWhenUnset) {
+  unsetenv("POPSMR_TEST_ENV_X");
+  EXPECT_EQ(env_u64("POPSMR_TEST_ENV_X", 17), 17u);
+  EXPECT_EQ(env_str("POPSMR_TEST_ENV_X", "dflt"), "dflt");
+}
+
+TEST(Env, ParsesNumbers) {
+  setenv("POPSMR_TEST_ENV_X", "12345", 1);
+  EXPECT_EQ(env_u64("POPSMR_TEST_ENV_X", 0), 12345u);
+  unsetenv("POPSMR_TEST_ENV_X");
+}
+
+TEST(Env, FallbackOnGarbage) {
+  setenv("POPSMR_TEST_ENV_X", "notanumber", 1);
+  EXPECT_EQ(env_u64("POPSMR_TEST_ENV_X", 9), 9u);
+  unsetenv("POPSMR_TEST_ENV_X");
+}
+
+TEST(Env, ReadsStrings) {
+  setenv("POPSMR_TEST_ENV_X", "hello", 1);
+  EXPECT_EQ(env_str("POPSMR_TEST_ENV_X", ""), "hello");
+  unsetenv("POPSMR_TEST_ENV_X");
+}
+
+TEST(Env, EmptyStringTreatedAsUnset) {
+  setenv("POPSMR_TEST_ENV_X", "", 1);
+  EXPECT_EQ(env_u64("POPSMR_TEST_ENV_X", 3), 3u);
+  EXPECT_EQ(env_str("POPSMR_TEST_ENV_X", "d"), "d");
+  unsetenv("POPSMR_TEST_ENV_X");
+}
+
+}  // namespace
+}  // namespace pop::runtime

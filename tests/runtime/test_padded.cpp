@@ -1,0 +1,37 @@
+#include "runtime/padded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+namespace pop::runtime {
+namespace {
+
+TEST(Padded, EachElementOnOwnCacheLine) {
+  Padded<std::atomic<uint64_t>> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<uintptr_t>(&arr[i]);
+    const auto b = reinterpret_cast<uintptr_t>(&arr[i + 1]);
+    EXPECT_GE(b - a, kCacheLine);
+    EXPECT_EQ(a % kCacheLine, 0u);
+  }
+}
+
+TEST(Padded, ForwardsConstructorArguments) {
+  Padded<int> p(41);
+  EXPECT_EQ(*p, 41);
+  *p += 1;
+  EXPECT_EQ(p.v, 42);
+}
+
+TEST(Padded, ArrowOperatorReachesMember) {
+  struct S {
+    int x = 9;
+  };
+  Padded<S> p;
+  EXPECT_EQ(p->x, 9);
+}
+
+}  // namespace
+}  // namespace pop::runtime

@@ -1,0 +1,169 @@
+#include "runtime/pool_alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "../support/test_util.hpp"
+
+namespace pop::runtime {
+namespace {
+
+TEST(PoolAlloc, AllocateReturnsWritableMemory) {
+  void* p = pool_alloc(64);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 64);
+  pool_free(p);
+}
+
+TEST(PoolAlloc, SameSizeClassReusesBlocks) {
+  void* a = pool_alloc(48);
+  pool_free(a);
+  void* b = pool_alloc(48);  // LIFO free list: should hand back `a`
+  EXPECT_EQ(a, b);
+  pool_free(b);
+}
+
+TEST(PoolAlloc, DistinctLiveBlocksDoNotOverlap) {
+  std::vector<char*> blocks;
+  for (int i = 0; i < 100; ++i) {
+    blocks.push_back(static_cast<char*>(pool_alloc(96)));
+    std::memset(blocks.back(), i, 96);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(blocks[i][0]), i);
+    EXPECT_EQ(static_cast<unsigned char>(blocks[i][95]), i);
+  }
+  for (char* b : blocks) pool_free(b);
+}
+
+TEST(PoolAlloc, OversizedAllocationsFallThrough) {
+  void* p = pool_alloc(PoolAllocator::kMaxBlockSize + 1000);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 1, PoolAllocator::kMaxBlockSize + 1000);
+  pool_free(p);
+}
+
+TEST(PoolAlloc, CreateDestroyRunsConstructorsAndDestructors) {
+  static int dtor_calls;
+  dtor_calls = 0;
+  struct Obj {
+    explicit Obj(int v) : val(v) {}
+    ~Obj() { ++dtor_calls; }
+    int val;
+  };
+  Obj* o = PoolAllocator::instance().create<Obj>(7);
+  EXPECT_EQ(o->val, 7);
+  PoolAllocator::instance().destroy(o);
+  EXPECT_EQ(dtor_calls, 1);
+}
+
+TEST(PoolAlloc, RemoteFreeReturnsBlockToOwner) {
+  void* p = pool_alloc(256);
+  test::run_threads(1, [&](int) { pool_free(p); });  // freed remotely
+  // The owner drains its remote stack on the next same-class allocation.
+  void* q = pool_alloc(256);
+  EXPECT_EQ(p, q);
+  pool_free(q);
+}
+
+TEST(PoolAlloc, StatsCountAllocAndFree) {
+  const auto before = PoolAllocator::instance().stats();
+  void* p = pool_alloc(64);
+  void* q = pool_alloc(64);
+  pool_free(p);
+  pool_free(q);
+  const auto after = PoolAllocator::instance().stats();
+  EXPECT_EQ(after.allocated_blocks - before.allocated_blocks, 2u);
+  EXPECT_EQ(after.freed_blocks - before.freed_blocks, 2u);
+}
+
+TEST(PoolAlloc, ConcurrentAllocFreeStress) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  test::run_threads(kThreads, [&](int t) {
+    std::vector<void*> mine;
+    for (int i = 0; i < kIters; ++i) {
+      void* p = pool_alloc(32 + 16 * (i % 4));
+      std::memset(p, t, 32);
+      mine.push_back(p);
+      if (mine.size() > 64) {
+        pool_free(mine.front());
+        mine.erase(mine.begin());
+      }
+    }
+    for (void* p : mine) pool_free(p);
+  });
+  SUCCEED();
+}
+
+TEST(PoolAlloc, CrossThreadProducerConsumer) {
+  // One producer allocates, one consumer frees: every block crosses
+  // threads, exercising the MPSC remote-free stacks like a reclaimer does.
+  std::atomic<void*> channel{nullptr};
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    int freed = 0;
+    while (freed < 2000) {
+      void* p = channel.exchange(nullptr, std::memory_order_acq_rel);
+      if (p != nullptr) {
+        pool_free(p);
+        ++freed;
+      }
+    }
+    done.store(true);
+  });
+  int sent = 0;
+  while (sent < 2000) {
+    void* p = pool_alloc(128);
+    void* expected = nullptr;
+    while (!channel.compare_exchange_weak(expected, p,
+                                          std::memory_order_acq_rel)) {
+      expected = nullptr;
+      std::this_thread::yield();
+    }
+    ++sent;
+  }
+  consumer.join();
+  EXPECT_TRUE(done.load());
+}
+
+using PoolAllocDeathTest = ::testing::Test;
+
+TEST(PoolAllocDeathTest, PoisonModeCatchesDoubleFree) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        PoolAllocator::set_poison(true);
+        void* p = pool_alloc(64);
+        pool_free(p);
+        pool_free(p);  // double free: must abort
+      },
+      "double free");
+}
+
+TEST(PoolAllocDeathTest, PoisonModeFillsFreedPayload) {
+  PoolAllocator::set_poison(true);
+  char* p = static_cast<char*>(pool_alloc(64));
+  std::memset(p, 0x11, 64);
+  pool_free(p);
+  // The payload beyond the free-list link must carry the canary.
+  bool poisoned = true;
+  for (int i = 8; i < 64; ++i) {
+    poisoned = poisoned &&
+               (static_cast<unsigned char>(p[i]) == PoolAllocator::kPoisonByte);
+  }
+  EXPECT_TRUE(poisoned);
+  EXPECT_TRUE(PoolAllocator::is_poisoned(p));
+  void* q = pool_alloc(64);  // reuse is legal again
+  EXPECT_EQ(q, p);
+  EXPECT_FALSE(PoolAllocator::is_poisoned(q));
+  pool_free(q);
+  PoolAllocator::set_poison(false);
+}
+
+}  // namespace
+}  // namespace pop::runtime

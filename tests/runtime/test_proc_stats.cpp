@@ -1,0 +1,28 @@
+#include "runtime/proc_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+namespace pop::runtime {
+namespace {
+
+TEST(ProcStats, ReportsNonZeroResidentMemory) {
+  EXPECT_GT(vm_rss_kib(), 0u);
+  EXPECT_GT(vm_hwm_kib(), 0u);
+}
+
+TEST(ProcStats, HwmIsAtLeastRss) { EXPECT_GE(vm_hwm_kib(), vm_rss_kib()); }
+
+TEST(ProcStats, HwmGrowsAfterLargeTouchedAllocation) {
+  const uint64_t before = vm_hwm_kib();
+  constexpr size_t kBytes = 64 * 1024 * 1024;
+  auto buf = std::make_unique<char[]>(kBytes);
+  std::memset(buf.get(), 1, kBytes);  // touch every page
+  const uint64_t after = vm_hwm_kib();
+  EXPECT_GE(after, before + kBytes / 1024 / 2);  // at least half accounted
+}
+
+}  // namespace
+}  // namespace pop::runtime

@@ -1,0 +1,66 @@
+#include "runtime/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pop::runtime {
+namespace {
+
+TEST(Rng, SplitmixAdvancesState) {
+  uint64_t s = 42;
+  const uint64_t a = splitmix64(s);
+  const uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 42u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Xoshiro256 r(123);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Xoshiro256 r(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversSmallRange) {
+  Xoshiro256 r(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);  // all residues hit in 1000 draws
+}
+
+TEST(Rng, PercentRespectsExtremes) {
+  Xoshiro256 r(17);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(r.percent(0));
+    EXPECT_TRUE(r.percent(100));
+  }
+}
+
+TEST(Rng, PercentRoughlyCalibrated) {
+  Xoshiro256 r(31);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.percent(30);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.30, 0.02);
+}
+
+}  // namespace
+}  // namespace pop::runtime

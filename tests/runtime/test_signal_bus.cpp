@@ -1,0 +1,110 @@
+#include "runtime/signal_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/thread_registry.hpp"
+#include "../support/test_util.hpp"
+
+namespace pop::runtime {
+namespace {
+
+class CountingClient final : public SignalClient {
+ public:
+  void on_ping(int tid) noexcept override {
+    pings.fetch_add(1, std::memory_order_relaxed);
+    last_tid.store(tid, std::memory_order_relaxed);
+  }
+  std::atomic<uint64_t> pings{0};
+  std::atomic<int> last_tid{-1};
+};
+
+TEST(SignalBus, AttachDetachIsPerThread) {
+  CountingClient c;
+  auto& bus = SignalBus::instance();
+  bus.attach(&c);
+  EXPECT_TRUE(bus.attached(&c));
+  bus.attach(&c);  // idempotent
+  EXPECT_TRUE(bus.attached(&c));
+  bus.detach(&c);
+  EXPECT_FALSE(bus.attached(&c));
+  bus.detach(&c);  // idempotent
+}
+
+TEST(SignalBus, AttachmentInOneThreadNotVisibleInAnother) {
+  CountingClient c;
+  SignalBus::instance().attach(&c);
+  test::run_threads(1, [&](int) {
+    EXPECT_FALSE(SignalBus::instance().attached(&c));
+  });
+  SignalBus::instance().detach(&c);
+}
+
+TEST(SignalBus, PingRunsHandlerOnTargetThread) {
+  CountingClient c;
+  std::atomic<bool> hold{true};
+  std::atomic<int> worker_tid{-1};
+  std::thread t([&] {
+    SignalBus::instance().attach(&c);
+    worker_tid.store(my_tid());
+    while (hold.load()) std::this_thread::yield();
+    SignalBus::instance().detach(&c);
+  });
+  while (worker_tid.load() < 0) std::this_thread::yield();
+  ThreadRegistry::instance().ping_others(kPingSignal, [](int) { return true; }, [](int, uint64_t) {});
+  // The signal is asynchronous; wait for the handler.
+  for (int i = 0; i < 10000 && c.pings.load() == 0; ++i) {
+    std::this_thread::yield();
+  }
+  EXPECT_GE(c.pings.load(), 1u);
+  EXPECT_EQ(c.last_tid.load(), worker_tid.load());
+  hold.store(false);
+  t.join();
+}
+
+TEST(SignalBus, MultipleClientsAllNotified) {
+  CountingClient c1, c2;
+  std::atomic<bool> hold{true};
+  std::atomic<bool> ready{false};
+  std::thread t([&] {
+    SignalBus::instance().attach(&c1);
+    SignalBus::instance().attach(&c2);
+    ready.store(true);
+    while (hold.load()) std::this_thread::yield();
+    SignalBus::instance().detach(&c1);
+    SignalBus::instance().detach(&c2);
+  });
+  while (!ready.load()) std::this_thread::yield();
+  ThreadRegistry::instance().ping_others(kPingSignal, [](int) { return true; }, [](int, uint64_t) {});
+  for (int i = 0; i < 10000 && (c1.pings.load() == 0 || c2.pings.load() == 0);
+       ++i) {
+    std::this_thread::yield();
+  }
+  EXPECT_GE(c1.pings.load(), 1u);
+  EXPECT_GE(c2.pings.load(), 1u);
+  hold.store(false);
+  t.join();
+}
+
+TEST(SignalBus, DetachedClientNotNotified) {
+  CountingClient c;
+  std::atomic<bool> hold{true};
+  std::atomic<bool> ready{false};
+  std::thread t([&] {
+    SignalBus::instance().attach(&c);
+    SignalBus::instance().detach(&c);
+    ready.store(true);
+    while (hold.load()) std::this_thread::yield();
+  });
+  while (!ready.load()) std::this_thread::yield();
+  ThreadRegistry::instance().ping_others(kPingSignal, [](int) { return true; }, [](int, uint64_t) {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(c.pings.load(), 0u);
+  hold.store(false);
+  t.join();
+}
+
+}  // namespace
+}  // namespace pop::runtime

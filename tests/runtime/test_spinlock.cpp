@@ -1,0 +1,44 @@
+#include "runtime/spinlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_util.hpp"
+
+namespace pop::runtime {
+namespace {
+
+TEST(Spinlock, BasicAcquireRelease) {
+  Spinlock l;
+  EXPECT_FALSE(l.is_locked());
+  l.lock();
+  EXPECT_TRUE(l.is_locked());
+  l.unlock();
+  EXPECT_FALSE(l.is_locked());
+}
+
+TEST(Spinlock, TryLockFailsWhenHeld) {
+  Spinlock l;
+  ASSERT_TRUE(l.try_lock());
+  EXPECT_FALSE(l.try_lock());
+  l.unlock();
+  EXPECT_TRUE(l.try_lock());
+  l.unlock();
+}
+
+TEST(Spinlock, MutualExclusionUnderContention) {
+  Spinlock l;
+  int64_t counter = 0;  // deliberately non-atomic: the lock must protect it
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  test::run_threads(kThreads, [&](int) {
+    for (int i = 0; i < kIters; ++i) {
+      l.lock();
+      ++counter;
+      l.unlock();
+    }
+  });
+  EXPECT_EQ(counter, static_cast<int64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace pop::runtime

@@ -1,0 +1,171 @@
+// Tests of the publish-on-ping handshake machinery (paper Algorithm 2):
+// private reservations stay private until a ping, the publish counter
+// advances exactly when the handler runs, and ping_all_and_wait returns
+// only after every attached thread has published.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/pop_engine.hpp"
+#include "runtime/thread_registry.hpp"
+#include "../support/test_util.hpp"
+
+namespace pop::core {
+namespace {
+
+TEST(PopEngine, LocalReservationIsPrivateUntilPing) {
+  PopEngine e(4);
+  std::atomic<bool> reserved{false}, release{false};
+  std::thread reader([&] {
+    const int tid = runtime::my_tid();
+    e.attach(tid);
+    e.reserve_local(tid, 0, 0xABCD0);
+    reserved.store(true);
+    while (!release.load()) std::this_thread::yield();
+    e.detach(tid);
+  });
+  while (!reserved.load()) std::this_thread::yield();
+
+  uintptr_t shared[runtime::kMaxThreads * smr::kMaxSlots];
+  int n = e.collect_shared(shared);
+  bool found = false;
+  for (int i = 0; i < n; ++i) found = found || shared[i] == 0xABCD0;
+  EXPECT_FALSE(found) << "reservation leaked to shared slots without a ping";
+
+  const int self = runtime::my_tid();
+  e.attach(self);
+  e.ping_all_and_wait(self);
+
+  n = e.collect_shared(shared);
+  found = false;
+  for (int i = 0; i < n; ++i) found = found || shared[i] == 0xABCD0;
+  EXPECT_TRUE(found) << "reservation not published after the handshake";
+
+  release.store(true);
+  reader.join();
+  e.detach(self);
+}
+
+TEST(PopEngine, PublishCounterAdvancesOnPing) {
+  PopEngine e(4);
+  std::atomic<bool> up{false}, release{false};
+  std::atomic<int> reader_tid{-1};
+  std::thread reader([&] {
+    const int tid = runtime::my_tid();
+    e.attach(tid);
+    reader_tid.store(tid);
+    up.store(true);
+    while (!release.load()) std::this_thread::yield();
+    e.detach(tid);
+  });
+  while (!up.load()) std::this_thread::yield();
+  const uint64_t before = e.publish_count(reader_tid.load());
+  const int self = runtime::my_tid();
+  e.attach(self);
+  e.ping_all_and_wait(self);
+  EXPECT_GT(e.publish_count(reader_tid.load()), before);
+  release.store(true);
+  reader.join();
+  e.detach(self);
+}
+
+TEST(PopEngine, HandshakeCompletesWithNoOtherThreads) {
+  PopEngine e(4);
+  const int self = runtime::my_tid();
+  e.attach(self);
+  e.reserve_local(self, 0, 0x1234560);
+  e.ping_all_and_wait(self);  // must self-publish and return promptly
+  uintptr_t shared[runtime::kMaxThreads * smr::kMaxSlots];
+  const int n = e.collect_shared(shared);
+  bool found = false;
+  for (int i = 0; i < n; ++i) found = found || shared[i] == 0x1234560;
+  EXPECT_TRUE(found);
+  e.detach(self);
+}
+
+TEST(PopEngine, DetachedThreadDoesNotBlockHandshake) {
+  PopEngine e(4);
+  // Reader attaches and then detaches before the reclaimer pings.
+  test::run_threads(1, [&](int) {
+    const int tid = runtime::my_tid();
+    e.attach(tid);
+    e.reserve_local(tid, 0, 0xF00D0);
+    e.detach(tid);
+  });
+  const int self = runtime::my_tid();
+  e.attach(self);
+  e.ping_all_and_wait(self);  // must not spin on the departed thread
+  uintptr_t shared[runtime::kMaxThreads * smr::kMaxSlots];
+  const int n = e.collect_shared(shared);
+  for (int i = 0; i < n; ++i) EXPECT_NE(shared[i], 0xF00D0u);
+  e.detach(self);
+}
+
+TEST(PopEngine, ClearLocalDropsReservations) {
+  PopEngine e(4);
+  const int self = runtime::my_tid();
+  e.attach(self);
+  e.reserve_local(self, 0, 0xBEEF0);
+  e.clear_local(self);
+  e.ping_all_and_wait(self);
+  uintptr_t shared[runtime::kMaxThreads * smr::kMaxSlots];
+  const int n = e.collect_shared(shared);
+  for (int i = 0; i < n; ++i) EXPECT_NE(shared[i], 0xBEEF0u);
+  e.detach(self);
+}
+
+TEST(PopEngine, ConcurrentReclaimersCoalesce) {
+  PopEngine e(4);
+  std::atomic<bool> release{false};
+  std::atomic<int> up{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&] {
+      const int tid = runtime::my_tid();
+      e.attach(tid);
+      e.reserve_local(tid, 0, 0x5150 + 16 * static_cast<uintptr_t>(tid));
+      up.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+      e.detach(tid);
+    });
+  }
+  while (up.load() < 3) std::this_thread::yield();
+  // Two reclaimers handshake simultaneously; both must terminate.
+  test::run_threads(2, [&](int) {
+    const int tid = runtime::my_tid();
+    e.attach(tid);
+    e.ping_all_and_wait(tid);
+    e.detach(tid);
+  });
+  release.store(true);
+  for (auto& t : readers) t.join();
+  SUCCEED();
+}
+
+TEST(PopEngine, PingsReceivedCounterTracksHandlers) {
+  PopEngine e(4);
+  std::atomic<bool> up{false}, release{false};
+  std::atomic<int> rtid{-1};
+  std::thread reader([&] {
+    const int tid = runtime::my_tid();
+    e.attach(tid);
+    rtid.store(tid);
+    up.store(true);
+    while (!release.load()) std::this_thread::yield();
+    e.detach(tid);
+  });
+  while (!up.load()) std::this_thread::yield();
+  const int self = runtime::my_tid();
+  e.attach(self);
+  const uint64_t before = e.pings_received(rtid.load());
+  e.ping_all_and_wait(self);
+  e.ping_all_and_wait(self);
+  EXPECT_GE(e.pings_received(rtid.load()), before + 2);
+  release.store(true);
+  reader.join();
+  e.detach(self);
+}
+
+}  // namespace
+}  // namespace pop::core

@@ -1,0 +1,81 @@
+#include "smr/retire_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pop::smr {
+namespace {
+
+struct TestNode : Reclaimable {
+  static int live;
+  TestNode() { ++live; }
+};
+int TestNode::live = 0;
+
+void test_deleter(Reclaimable* r) {
+  --TestNode::live;
+  delete static_cast<TestNode*>(r);
+}
+
+TestNode* make_node(uint64_t retire_era = 0) {
+  auto* n = new TestNode();
+  n->deleter = &test_deleter;
+  n->retire_era = retire_era;
+  return n;
+}
+
+TEST(RetireList, StartsEmpty) {
+  RetireList rl;
+  EXPECT_TRUE(rl.empty());
+  EXPECT_EQ(rl.length(), 0u);
+}
+
+TEST(RetireList, PushIncreasesLength) {
+  RetireList rl;
+  rl.push(make_node());
+  rl.push(make_node());
+  EXPECT_EQ(rl.length(), 2u);
+  EXPECT_FALSE(rl.empty());
+  rl.drain();
+  EXPECT_EQ(TestNode::live, 0);
+}
+
+TEST(RetireList, SweepFreesOnlyMatching) {
+  RetireList rl;
+  for (uint64_t e = 0; e < 10; ++e) rl.push(make_node(e));
+  const uint64_t freed =
+      rl.sweep([](Reclaimable* n) { return n->retire_era < 5; });
+  EXPECT_EQ(freed, 5u);
+  EXPECT_EQ(rl.length(), 5u);
+  EXPECT_EQ(TestNode::live, 5);
+  rl.drain();
+  EXPECT_EQ(TestNode::live, 0);
+}
+
+TEST(RetireList, SweepKeepsSurvivorsForLaterSweep) {
+  RetireList rl;
+  for (uint64_t e = 0; e < 6; ++e) rl.push(make_node(e));
+  rl.sweep([](Reclaimable* n) { return n->retire_era % 2 == 0; });
+  EXPECT_EQ(rl.length(), 3u);
+  const uint64_t freed = rl.sweep([](Reclaimable*) { return true; });
+  EXPECT_EQ(freed, 3u);
+  EXPECT_TRUE(rl.empty());
+  EXPECT_EQ(TestNode::live, 0);
+}
+
+TEST(RetireList, DrainFreesEverything) {
+  RetireList rl;
+  for (int i = 0; i < 100; ++i) rl.push(make_node());
+  EXPECT_EQ(rl.drain(), 100u);
+  EXPECT_TRUE(rl.empty());
+  EXPECT_EQ(TestNode::live, 0);
+}
+
+TEST(RetireList, SweepOnEmptyListIsNoop) {
+  RetireList rl;
+  EXPECT_EQ(rl.sweep([](Reclaimable*) { return true; }), 0u);
+}
+
+}  // namespace
+}  // namespace pop::smr

@@ -1,0 +1,133 @@
+// The paper's robustness story, as executable tests:
+//  * EBR is NOT robust: one stalled reader stops reclamation entirely
+//    (unbounded garbage — §2.2.2).
+//  * EpochPOP IS robust: the same stall leaves garbage bounded (§4.2.3,
+//    Property 5) because reclaimers fall back to publish-on-ping.
+//  * HazardPtrPOP/HazardEraPOP bound garbage like HP/HE (Property 3/7).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "smr/all.hpp"
+
+namespace pop {
+namespace {
+
+struct TNode : smr::Reclaimable {
+  explicit TNode(uint64_t k = 0) : key(k) {}
+  uint64_t key;
+};
+
+constexpr int kChurn = 600;
+
+smr::SmrConfig cfg() {
+  smr::SmrConfig c;
+  c.retire_threshold = 16;
+  c.epoch_freq = 1;
+  c.pop_multiplier = 2;
+  return c;
+}
+
+// Parks a thread inside an operation of `d`, then churns retires from the
+// main thread; returns the final unreclaimed count.
+template <class D>
+uint64_t churn_with_stalled_reader(D& d) {
+  std::atomic<bool> stalled{false}, release{false};
+  std::thread sleeper([&] {
+    d.begin_op();
+    stalled.store(true);
+    while (!release.load()) std::this_thread::yield();
+    d.end_op();
+    d.detach();
+  });
+  while (!stalled.load()) std::this_thread::yield();
+  for (int i = 0; i < kChurn; ++i) {
+    typename D::Guard g(d);
+    d.retire(d.template create<TNode>(i));
+  }
+  const uint64_t unreclaimed = d.stats().unreclaimed();
+  release.store(true);
+  sleeper.join();
+  return unreclaimed;
+}
+
+TEST(Robustness, EbrGarbageGrowsUnboundedUnderStall) {
+  smr::EbrDomain d(cfg());
+  const uint64_t unreclaimed = churn_with_stalled_reader(d);
+  // Everything retired after the stall is pinned: growth is linear in the
+  // churn — the non-robustness the paper motivates EpochPOP with.
+  EXPECT_GE(unreclaimed, static_cast<uint64_t>(kChurn) * 9 / 10);
+}
+
+TEST(Robustness, EpochPopGarbageStaysBoundedUnderStall) {
+  core::EpochPopDomain d(cfg());
+  const uint64_t unreclaimed = churn_with_stalled_reader(d);
+  const auto c = cfg();
+  // Property 5: bounded by the POP trigger plus reserved slots.
+  EXPECT_LE(unreclaimed, c.pop_multiplier * c.retire_threshold +
+                             2 * static_cast<uint64_t>(c.num_slots));
+  EXPECT_GT(d.stats().pop_frees, 0u);
+}
+
+TEST(Robustness, HazardPtrPopGarbageStaysBoundedUnderStall) {
+  core::HazardPtrPopDomain d(cfg());
+  const uint64_t unreclaimed = churn_with_stalled_reader(d);
+  const auto c = cfg();
+  EXPECT_LE(unreclaimed,
+            c.retire_threshold + 2 * static_cast<uint64_t>(c.num_slots));
+}
+
+TEST(Robustness, HazardEraPopGarbageStaysBoundedUnderStall) {
+  core::HazardEraPopDomain d(cfg());
+  const uint64_t unreclaimed = churn_with_stalled_reader(d);
+  // A stalled thread with no reservation pins nothing (eras cleared at
+  // op start happen to be empty here since begin_op reserves lazily).
+  const auto c = cfg();
+  EXPECT_LE(unreclaimed,
+            c.retire_threshold + 2 * static_cast<uint64_t>(c.num_slots));
+}
+
+TEST(Robustness, HpGarbageStaysBoundedUnderStall) {
+  smr::HpDomain d(cfg());
+  const uint64_t unreclaimed = churn_with_stalled_reader(d);
+  const auto c = cfg();
+  EXPECT_LE(unreclaimed,
+            c.retire_threshold + 2 * static_cast<uint64_t>(c.num_slots));
+}
+
+TEST(Robustness, IbrGarbageStaysBoundedUnderStall) {
+  smr::IbrDomain d(cfg());
+  const uint64_t unreclaimed = churn_with_stalled_reader(d);
+  // The stalled reader's interval [e,e] pins only nodes alive at e.
+  EXPECT_LE(unreclaimed, cfg().retire_threshold * 4);
+}
+
+TEST(Robustness, StalledThreadDoesNotBlockPopForever) {
+  // Liveness: a reclaim pass with a stalled (but signal-responsive)
+  // thread completes — Assumption 1 in practice.
+  core::HazardPtrPopDomain d(cfg());
+  std::atomic<bool> stalled{false}, release{false};
+  std::thread sleeper([&] {
+    d.begin_op();
+    stalled.store(true);
+    while (!release.load()) std::this_thread::yield();
+    d.end_op();
+    d.detach();
+  });
+  while (!stalled.load()) std::this_thread::yield();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 64; ++i) {
+    core::HazardPtrPopDomain::Guard g(d);
+    d.retire(d.create<TNode>(i));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30);
+  EXPECT_GT(d.stats().freed, 0u);
+  release.store(true);
+  sleeper.join();
+}
+
+}  // namespace
+}  // namespace pop

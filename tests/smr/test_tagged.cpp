@@ -1,0 +1,41 @@
+#include "smr/tagged.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace pop::smr {
+namespace {
+
+TEST(Tagged, MarkRoundTrip) {
+  alignas(8) int x = 0;
+  int* p = &x;
+  EXPECT_FALSE(is_marked(p));
+  int* m = with_mark(p);
+  EXPECT_TRUE(is_marked(m));
+  EXPECT_EQ(strip_mark(m), p);
+  EXPECT_EQ(strip_mark(p), p);
+}
+
+TEST(Tagged, NullPointerHandling) {
+  int* null = nullptr;
+  EXPECT_FALSE(is_marked(null));
+  int* marked_null = with_mark(null);
+  EXPECT_TRUE(is_marked(marked_null));
+  EXPECT_EQ(strip_mark(marked_null), nullptr);
+}
+
+TEST(Tagged, MarkIsIdempotent) {
+  alignas(8) int x = 0;
+  int* m = with_mark(&x);
+  EXPECT_EQ(with_mark(m), m);
+}
+
+TEST(Tagged, StripClearsAllLowBits) {
+  alignas(8) int x = 0;
+  auto raw = reinterpret_cast<uintptr_t>(&x) | 0x7;
+  EXPECT_EQ(strip_mark(reinterpret_cast<int*>(raw)), &x);
+}
+
+}  // namespace
+}  // namespace pop::smr
