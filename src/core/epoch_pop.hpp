@@ -40,13 +40,13 @@ class EpochPopDomain {
   void attach() {
     const int tid = runtime::my_tid();
     if (core_.attach_if_new(tid)) {
-      reserved_epoch_[tid]->store(kQuiescent, std::memory_order_release);
+      reserved_epoch_[tid]->v.store(kQuiescent, std::memory_order_release);
       engine_.attach(tid);
     }
   }
   void detach() {
     const int tid = runtime::my_tid();
-    reserved_epoch_[tid]->store(kQuiescent, std::memory_order_release);
+    reserved_epoch_[tid]->v.store(kQuiescent, std::memory_order_release);
     engine_.detach(tid);
     core_.mark_detached(tid);
   }
@@ -58,14 +58,14 @@ class EpochPopDomain {
     if (++op_counter_[tid]->v % core_.config().epoch_freq == 0) {
       epoch_.fetch_add(1, std::memory_order_acq_rel);
     }
-    reserved_epoch_[tid]->store(epoch_.load(std::memory_order_acquire),
-                                std::memory_order_seq_cst);
+    reserved_epoch_[tid]->v.store(epoch_.load(std::memory_order_acquire),
+                                  std::memory_order_seq_cst);
   }
 
   // Algorithm 3 endOp(): announce quiescence and drop local reservations.
   void end_op() {
     const int tid = runtime::my_tid();
-    reserved_epoch_[tid]->store(kQuiescent, std::memory_order_release);
+    reserved_epoch_[tid]->v.store(kQuiescent, std::memory_order_release);
     engine_.clear_local(tid);
   }
 
@@ -129,7 +129,8 @@ class EpochPopDomain {
     uint64_t min_reserved = kQuiescent;
     const int hi = runtime::ThreadRegistry::instance().max_tid();
     for (int t = 0; t <= hi; ++t) {
-      const uint64_t r = reserved_epoch_[t]->load(std::memory_order_acquire);
+      const uint64_t r =
+          reserved_epoch_[t]->v.load(std::memory_order_acquire);
       if (r < min_reserved) min_reserved = r;
     }
     auto& st = core_.stats(tid);
@@ -166,10 +167,17 @@ class EpochPopDomain {
     uint64_t v = 0;
   };
 
+  // Starts quiescent: a zero-initialized slot would read as "reserved at
+  // epoch 0" in reclaim_epoch_freeable() for registry tids that never
+  // attached to this domain and pin every retired node forever.
+  struct ReservedEpoch {
+    std::atomic<uint64_t> v{kQuiescent};
+  };
+
   smr::DomainCore core_;
   PopEngine engine_;
   std::atomic<uint64_t> epoch_{1};
-  runtime::Padded<std::atomic<uint64_t>> reserved_epoch_[runtime::kMaxThreads];
+  runtime::Padded<ReservedEpoch> reserved_epoch_[runtime::kMaxThreads];
   runtime::Padded<Counter> op_counter_[runtime::kMaxThreads];
 };
 

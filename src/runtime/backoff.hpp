@@ -3,6 +3,7 @@
 
 #include <sched.h>
 
+#include <algorithm>
 #include <cstdint>
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -27,10 +28,14 @@ class Backoff {
 
   void pause() noexcept {
     for (uint32_t i = 0; i < cur_; ++i) cpu_relax();
-    if (cur_ < max_) cur_ *= 2;
+    cur_ = std::min(cur_ * 2, max_);
   }
 
   void reset() noexcept { cur_ = 1; }
+
+  // Spins the *next* pause() will burn; never exceeds max_spins().
+  uint32_t spins() const noexcept { return cur_; }
+  uint32_t max_spins() const noexcept { return max_; }
 
  private:
   uint32_t cur_ = 1;

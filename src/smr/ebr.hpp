@@ -29,12 +29,12 @@ class EbrDomain {
   void attach() {
     const int tid = runtime::my_tid();
     if (core_.attach_if_new(tid)) {
-      reserved_[tid]->store(kQuiescent, std::memory_order_release);
+      reserved_[tid]->v.store(kQuiescent, std::memory_order_release);
     }
   }
   void detach() {
     const int tid = runtime::my_tid();
-    reserved_[tid]->store(kQuiescent, std::memory_order_release);
+    reserved_[tid]->v.store(kQuiescent, std::memory_order_release);
     core_.mark_detached(tid);
   }
 
@@ -45,13 +45,13 @@ class EbrDomain {
       epoch_.fetch_add(1, std::memory_order_acq_rel);
     }
     // seq_cst store: announcement ordered before the operation's reads.
-    reserved_[tid]->store(epoch_.load(std::memory_order_acquire),
-                          std::memory_order_seq_cst);
+    reserved_[tid]->v.store(epoch_.load(std::memory_order_acquire),
+                            std::memory_order_seq_cst);
   }
 
   void end_op() {
-    reserved_[runtime::my_tid()]->store(kQuiescent,
-                                        std::memory_order_release);
+    reserved_[runtime::my_tid()]->v.store(kQuiescent,
+                                          std::memory_order_release);
   }
 
   template <class T>
@@ -89,7 +89,7 @@ class EbrDomain {
     uint64_t min_reserved = kQuiescent;
     const int hi = runtime::ThreadRegistry::instance().max_tid();
     for (int t = 0; t <= hi; ++t) {
-      const uint64_t r = reserved_[t]->load(std::memory_order_acquire);
+      const uint64_t r = reserved_[t]->v.load(std::memory_order_acquire);
       if (r < min_reserved) min_reserved = r;
     }
     auto& st = core_.stats(tid);
@@ -103,9 +103,16 @@ class EbrDomain {
     uint64_t v = 0;
   };
 
+  // Starts quiescent: a zero-initialized slot would read as "reserved at
+  // epoch 0" in scan() for registry tids that never attached to this
+  // domain and pin every retired node forever.
+  struct ReservedEpoch {
+    std::atomic<uint64_t> v{kQuiescent};
+  };
+
   DomainCore core_;
   std::atomic<uint64_t> epoch_{1};
-  runtime::Padded<std::atomic<uint64_t>> reserved_[runtime::kMaxThreads];
+  runtime::Padded<ReservedEpoch> reserved_[runtime::kMaxThreads];
   runtime::Padded<Counter> op_counter_[runtime::kMaxThreads];
 };
 
