@@ -152,7 +152,32 @@ void print_table_header(const std::string& title) {
   std::fflush(stdout);
 }
 
+namespace {
+
+// POPSMR_BENCH_JSON=<path>: append one JSON object (JSON Lines) per
+// printed cell, so figure runs also produce a machine-readable
+// BENCH_*.json for the perf trajectory.
+void append_json_row(const WorkloadConfig& cfg, const WorkloadResult& r) {
+  static const std::string path = runtime::env_str("POPSMR_BENCH_JSON", "");
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  std::fprintf(
+      f,
+      "{\"ds\":\"%s\",\"smr\":\"%s\",\"threads\":%d,\"mops\":%.6f,"
+      "\"read_mops\":%.6f,\"vm_hwm_kib\":%llu,\"freed\":%llu,"
+      "\"signals_sent\":%llu}\n",
+      cfg.ds.c_str(), cfg.smr.c_str(), cfg.threads, r.mops, r.read_mops,
+      static_cast<unsigned long long>(r.vm_hwm_kib),
+      static_cast<unsigned long long>(r.smr.freed),
+      static_cast<unsigned long long>(r.smr.signals_sent));
+  std::fclose(f);
+}
+
+}  // namespace
+
 void print_row(const WorkloadConfig& cfg, const WorkloadResult& r) {
+  append_json_row(cfg, r);
   std::printf(
       "%-5s %-13s %3d %8.3f %9.3f %9llu %10llu %11llu %9llu %8llu %11llu\n",
       cfg.ds.c_str(), cfg.smr.c_str(), cfg.threads, r.mops, r.read_mops,

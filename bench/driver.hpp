@@ -61,6 +61,10 @@ void print_row(const WorkloadConfig& cfg, const WorkloadResult& r);
 //   POPSMR_BENCH_DURATION_MS  per-cell duration    (default per figure)
 //   POPSMR_BENCH_THREADS      comma list, e.g. "1,2,4"
 //   POPSMR_BENCH_SMRS         comma list of scheme names
+//   POPSMR_BENCH_JSON         path; print_row also appends one JSON object
+//                             per cell (JSON Lines: ds, smr, threads, mops,
+//                             read_mops, vm_hwm_kib, freed, signals_sent) —
+//                             the BENCH_*.json perf-trajectory rail
 std::vector<int> bench_thread_list(const std::string& fallback);
 std::vector<std::string> bench_smr_list();
 uint64_t bench_duration_ms(uint64_t fallback);

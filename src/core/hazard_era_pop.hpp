@@ -95,10 +95,10 @@ class HazardEraPopDomain {
     auto& st = core_.stats(tid);
     st.signals_sent +=
         static_cast<uint64_t>(engine_.ping_all_and_wait(tid));
-    uintptr_t eras[runtime::kMaxThreads * smr::kMaxSlots];
+    uintptr_t* eras = core_.scan_scratch(tid);
     const int n = engine_.collect_shared(eras);  // sorted
     st.scans += 1;
-    st.freed += core_.retire_list(tid).sweep([&](smr::Reclaimable* node) {
+    st.freed += core_.sweep_retired(tid, [&](smr::Reclaimable* node) {
       const uintptr_t* lo = std::lower_bound(eras, eras + n, node->birth_era);
       return lo == eras + n || *lo > node->retire_era;
     });

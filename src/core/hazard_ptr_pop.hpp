@@ -96,10 +96,10 @@ class HazardPtrPopDomain {
     auto& st = core_.stats(tid);
     st.signals_sent +=
         static_cast<uint64_t>(engine_.ping_all_and_wait(tid));
-    uintptr_t reserved[runtime::kMaxThreads * smr::kMaxSlots];
+    uintptr_t* reserved = core_.scan_scratch(tid);
     const int n = engine_.collect_shared(reserved);
     st.scans += 1;
-    st.freed += core_.retire_list(tid).sweep([&](smr::Reclaimable* node) {
+    st.freed += core_.sweep_retired(tid, [&](smr::Reclaimable* node) {
       return !smr::SlotTable::contains(reserved, n,
                                        reinterpret_cast<uintptr_t>(node));
     });

@@ -16,8 +16,11 @@
 // snapshot, all reservations that existed before the ping are visible,
 // and the reclaimer may free any retired node not found in the shared
 // slots (pointer mode) or whose lifespan intersects no published era (era
-// mode). Concurrent reclaimers coalesce: a single publish satisfies every
-// waiter whose snapshot predates it.
+// mode). Concurrent reclaimers coalesce twice over: a single publish
+// satisfies every waiter whose snapshot predates it, and a global round
+// counter lets a reclaimer that observes an in-flight ping wave piggyback
+// on that wave's publish storm instead of re-signaling every thread (see
+// ping_all_and_wait).
 //
 // Private slots are lock-free std::atomic<uintptr_t> accessed with relaxed
 // ordering — plain machine stores, and the only data shared with the
@@ -114,9 +117,19 @@ class PopEngine final : public runtime::SignalClient {
 
   // ---- reclaimer handshake --------------------------------------------------
 
-  // Executes collect + ping + wait. Returns the number of signals sent.
-  // On return, every pre-ping reservation of every attached thread is
-  // visible in the shared table.
+  // Executes collect + ping + wait. Returns the number of signals this
+  // caller sent. On return, every pre-ping reservation of every attached
+  // thread is visible in the shared table.
+  //
+  // Concurrent handshakes coalesce on a global round counter (even = no
+  // ping wave in flight, odd = a wave is open: a leader has broadcast and
+  // is waiting for the publishes to land). Only a leader broadcasts; a
+  // reclaimer that observes an open wave piggybacks on that wave's
+  // publish storm and makes up any gap — a thread whose publish predates
+  // its own counter snapshot, or one the broadcast missed — with targeted
+  // per-thread re-pings after a patience interval. Safety never depends
+  // on the round logic: the counter wait below is the paper's
+  // waitForAllPublished() and is what actually certifies visibility.
   int ping_all_and_wait(int self_tid) {
     publish(self_tid);  // own reservations participate in the scan
 
@@ -128,7 +141,8 @@ class PopEngine final : public runtime::SignalClient {
     };
     Waited waited[runtime::kMaxThreads];
     int nwait = 0;
-    const int hi = runtime::ThreadRegistry::instance().max_tid();
+    auto& reg = runtime::ThreadRegistry::instance();
+    const int hi = reg.max_tid();
     for (int t = 0; t <= hi; ++t) {
       if (t == self_tid || !attached(t)) continue;
       waited[nwait++] = {t,
@@ -136,27 +150,80 @@ class PopEngine final : public runtime::SignalClient {
                          pt_[t]->registry_epoch};
     }
 
-    // pingAllToPublish(): signal exactly the threads attached to this
-    // domain — the set whose publish counters we wait on below.
-    const int sent = runtime::ThreadRegistry::instance().ping_others(
-        runtime::kPingSignal, [this](int t) { return attached(t); },
-        [](int, uint64_t) {});
-
-    // waitForAllPublished()
-    auto& reg = runtime::ThreadRegistry::instance();
-    for (int i = 0; i < nwait; ++i) {
-      const auto& w = waited[i];
-      runtime::SpinThenYield waiter;
-      for (;;) {
-        if (pt_[w.tid]->publish_counter.load(std::memory_order_acquire) !=
-            w.counter_before) {
-          break;  // published since our snapshot
-        }
-        if (!attached(w.tid)) break;                     // detached: no refs
-        if (reg.slot_epoch(w.tid) != w.registry_epoch) break;  // slot recycled
-        waiter.wait();  // yields under oversubscription (§4.1.2)
+    // pingAllToPublish(), coalesced: lead a wave only if none is open.
+    // Every publish a wave triggers lands after its leader's broadcast,
+    // and our snapshot above predates anything we go on to wait for — so
+    // joining an open wave is always safe, merely possibly insufficient
+    // (covered by the escalation below).
+    int sent = 0;
+    bool leading = false;
+    uint64_t r = round_.load(std::memory_order_acquire);
+    while ((r & 1) == 0) {
+      if (round_.compare_exchange_weak(r, r + 1,
+                                       std::memory_order_acq_rel)) {
+        // We lead: signal exactly the threads attached to this domain —
+        // the set whose publish counters the wait below certifies.
+        sent = reg.ping_others(
+            runtime::kPingSignal, [this](int t) { return attached(t); },
+            [](int, uint64_t) {});
+        leading = true;
+        break;
       }
     }
+
+    // waitForAllPublished(), round-robin over the remaining threads so
+    // one patience interval covers every laggard at once (a per-thread
+    // serial wait would pay it once per thread a wave missed). The
+    // targeted re-ping is the liveness backstop for threads no broadcast
+    // covered — e.g. a joiner whose snapshot predates some publishes.
+    bool done[runtime::kMaxThreads] = {};
+    int remaining = nwait;
+    runtime::SpinThenYield waiter;
+    uint32_t stalled_sweeps = 0;
+    // Progressive patience: the first re-ping fires fast — a joiner whose
+    // snapshot already contained some of the wave's publishes would
+    // otherwise stall a full long interval on counters that will never
+    // advance again — then backs off so a genuinely slow thread is not
+    // bombarded.
+    uint32_t patience = kRepingPatienceFirst;
+    while (remaining > 0) {
+      bool progress = false;
+      for (int i = 0; i < nwait; ++i) {
+        if (done[i]) continue;
+        const auto& w = waited[i];
+        if (pt_[w.tid]->publish_counter.load(std::memory_order_acquire) !=
+                w.counter_before ||                       // published
+            !attached(w.tid) ||                           // detached: no refs
+            reg.slot_epoch(w.tid) != w.registry_epoch) {  // slot recycled
+          done[i] = true;
+          --remaining;
+          progress = true;
+        }
+      }
+      if (remaining == 0) break;
+      if (progress) {
+        stalled_sweeps = 0;
+      } else if (++stalled_sweeps > patience) {
+        stalled_sweeps = 0;
+        patience = kRepingPatience;
+        sent += reg.ping_others(
+            runtime::kPingSignal,
+            [&](int t) {
+              for (int i = 0; i < nwait; ++i) {
+                if (!done[i] && waited[i].tid == t) return attached(t);
+              }
+              return false;
+            },
+            [](int, uint64_t) {});
+      }
+      waiter.wait();  // yields under oversubscription (§4.1.2)
+    }
+    if (leading) {
+      round_.fetch_add(1, std::memory_order_release);  // close the wave
+    }
+    // Refresh our own counter: a joiner that snapshotted us after our
+    // entry publish would otherwise have to escalate to unblock.
+    publish(self_tid);
     return sent;
   }
 
@@ -176,7 +243,20 @@ class PopEngine final : public runtime::SignalClient {
 
   int num_slots() const { return num_slots_; }
 
+  // Completed ping waves * 2 (the round parity protocol above); exposed
+  // for tests asserting that concurrent reclaimers share one wave.
+  uint64_t handshake_rounds() const {
+    return round_.load(std::memory_order_acquire) / 2;
+  }
+
  private:
+  // No-progress sweeps before re-pinging the lagging threads directly.
+  // The first interval is short (~128 spins + ~128 yields): it is the
+  // recovery path for a joiner that can make no progress without a ping.
+  // Later intervals are long enough that an open wave's publishes
+  // (microseconds, plus scheduling) normally land first.
+  static constexpr uint32_t kRepingPatienceFirst = 1u << 8;
+  static constexpr uint32_t kRepingPatience = 1u << 12;
   std::atomic<uintptr_t>& local(int tid, int s) {
     return pt_[tid]->local_slots[s];
   }
@@ -195,6 +275,8 @@ class PopEngine final : public runtime::SignalClient {
   int num_slots_;
   runtime::Padded<PerThread> pt_[runtime::kMaxThreads];
   smr::SlotTable shared_;
+  // Handshake round: even = idle, odd = a leader is delivering pings.
+  std::atomic<uint64_t> round_{0};
 };
 
 }  // namespace pop::core

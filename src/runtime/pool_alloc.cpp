@@ -57,18 +57,18 @@ constexpr std::size_t class_bytes(int c) {
   return std::size_t{1} << (kMinShift + static_cast<std::size_t>(c));
 }
 
-constexpr uint32_t kMagicLive = 0xA110CA7Eu;
-constexpr uint32_t kMagicFree = 0xF7EEF7EEu;
+constexpr uint32_t kMagicLive = detail::kPoolMagicLive;
+constexpr uint32_t kMagicFree = detail::kPoolMagicFree;
 
 struct ThreadHeap;
 
-// One header word per block, immediately before the payload.
-struct BlockHeader {
-  ThreadHeap* owner;   // owning heap (remote frees push to its stack)
-  uint32_t size_class;
-  uint32_t magic;      // live/free marker, verified in poison mode
-};
-static_assert(sizeof(BlockHeader) == 16);
+// Block header layout lives in the public header (detail::PoolBlockHeader)
+// so FreeBatch::add can inline; this TU gives owner its real type.
+using BlockHeader = detail::PoolBlockHeader;
+
+ThreadHeap* owner_of(const BlockHeader* h) {
+  return static_cast<ThreadHeap*>(h->owner);
+}
 
 struct FreeNode {
   FreeNode* next;
@@ -76,7 +76,8 @@ struct FreeNode {
 
 std::atomic<uint64_t> g_allocated{0};
 std::atomic<uint64_t> g_freed{0};
-std::atomic<uint64_t> g_remote{0};
+std::atomic<uint64_t> g_remote{0};          // blocks freed cross-thread
+std::atomic<uint64_t> g_remote_splices{0};  // pushes that carried them
 std::atomic<uint64_t> g_slabs{0};
 std::atomic<bool> g_poison{false};
 
@@ -217,19 +218,116 @@ void PoolAllocator::deallocate(void* p) noexcept {
   }
   h->magic = kMagicFree;
   auto* node = static_cast<FreeNode*>(p);
-  ThreadHeap* owner = h->owner;
+  ThreadHeap* owner = owner_of(h);
   if (owner == t_heap.heap) {
     node->next = owner->local[c];
     owner->local[c] = node;
     return;
   }
-  // Remote free: push onto the owner's MPSC stack.
+  // Remote free: push onto the owner's MPSC stack (a splice of one).
   g_remote.fetch_add(1, std::memory_order_relaxed);
+  g_remote_splices.fetch_add(1, std::memory_order_relaxed);
   FreeNode* head = owner->remote[c].load(std::memory_order_relaxed);
   do {
     node->next = head;
   } while (!owner->remote[c].compare_exchange_weak(
       head, node, std::memory_order_release, std::memory_order_relaxed));
+}
+
+// ---- batched free ---------------------------------------------------------
+
+PoolAllocator::FreeBatch::FreeBatch() noexcept
+    : poison_(g_poison.load(std::memory_order_relaxed)) {}
+
+void PoolAllocator::FreeBatch::add_slow(void* p) noexcept {
+  BlockHeader* h = header_of(p);
+  const bool poison = poison_;
+  if (poison && h->magic != kMagicLive) {
+    die(h->magic == kMagicFree ? "double free" : "freeing corrupt block", p);
+  }
+  if (h->owner == nullptr) {
+    // Oversized blocks bypass the pools; nothing to batch.
+    g_freed.fetch_add(1, std::memory_order_relaxed);
+    h->magic = kMagicFree;
+    ::operator delete(static_cast<void*>(h));
+    ++added_;
+    return;
+  }
+  if (poison) {
+    std::memset(p, kPoisonByte, class_bytes(static_cast<int>(h->size_class)));
+  }
+  h->magic = kMagicFree;
+  ++added_;
+
+  // Retire lists free in long same-owner runs (allocation order), so the
+  // previous group almost always matches — check it before scanning.
+  {
+    Group& g = groups_[last_];
+    if (g.owner == h->owner && g.size_class == h->size_class) {
+      auto* node = static_cast<FreeNode*>(p);
+      node->next = static_cast<FreeNode*>(g.head);
+      g.head = node;
+      ++g.count;
+      return;
+    }
+  }
+  Group* empty = nullptr;
+  Group* fullest = &groups_[0];
+  for (int i = 0; i < kWays; ++i) {
+    Group& g = groups_[i];
+    if (g.owner == h->owner && g.size_class == h->size_class) {
+      auto* node = static_cast<FreeNode*>(p);
+      node->next = static_cast<FreeNode*>(g.head);
+      g.head = node;
+      ++g.count;
+      last_ = i;
+      return;
+    }
+    if (g.owner == nullptr) {
+      if (empty == nullptr) empty = &g;
+    } else if (g.count > fullest->count) {
+      fullest = &g;
+    }
+  }
+  Group& g = empty != nullptr ? *empty : *fullest;
+  if (empty == nullptr) flush_group(g);  // evict: all ways occupied
+  auto* node = static_cast<FreeNode*>(p);
+  node->next = nullptr;
+  g.owner = h->owner;
+  g.size_class = h->size_class;
+  g.head = node;
+  g.tail = node;
+  g.count = 1;
+  last_ = static_cast<int>(&g - groups_);
+}
+
+void PoolAllocator::FreeBatch::flush() noexcept {
+  for (int i = 0; i < kWays; ++i) {
+    if (groups_[i].owner != nullptr) flush_group(groups_[i]);
+  }
+}
+
+void PoolAllocator::FreeBatch::flush_group(Group& g) noexcept {
+  auto* owner = static_cast<ThreadHeap*>(g.owner);
+  auto* head = static_cast<FreeNode*>(g.head);
+  auto* tail = static_cast<FreeNode*>(g.tail);
+  const int c = static_cast<int>(g.size_class);
+  g_freed.fetch_add(g.count, std::memory_order_relaxed);
+  if (owner == t_heap.heap) {
+    // Local splice: prepend the whole chain, owner-thread only.
+    tail->next = owner->local[c];
+    owner->local[c] = head;
+  } else {
+    // Remote splice: the whole group lands with one successful CAS.
+    g_remote.fetch_add(g.count, std::memory_order_relaxed);
+    g_remote_splices.fetch_add(1, std::memory_order_relaxed);
+    FreeNode* old = owner->remote[c].load(std::memory_order_relaxed);
+    do {
+      tail->next = old;
+    } while (!owner->remote[c].compare_exchange_weak(
+        old, head, std::memory_order_release, std::memory_order_relaxed));
+  }
+  g = Group{};
 }
 
 void PoolAllocator::set_poison(bool on) noexcept {
@@ -251,6 +349,7 @@ PoolAllocator::Stats PoolAllocator::stats() const noexcept {
   return {g_allocated.load(std::memory_order_relaxed),
           g_freed.load(std::memory_order_relaxed),
           g_remote.load(std::memory_order_relaxed),
+          g_remote_splices.load(std::memory_order_relaxed),
           g_slabs.load(std::memory_order_relaxed)};
 }
 

@@ -25,6 +25,21 @@
 
 namespace pop::runtime {
 
+namespace detail {
+// One header word per pool block, immediately before the payload. Exposed
+// here (owner kept opaque) so FreeBatch::add can inline its fast path;
+// the allocator's .cpp is the only writer of owner/size_class.
+struct PoolBlockHeader {
+  void* owner;  // owning ThreadHeap; null for oversized fall-through blocks
+  uint32_t size_class;
+  uint32_t magic;  // live/free marker, verified in poison mode
+};
+static_assert(sizeof(PoolBlockHeader) == 16);
+
+inline constexpr uint32_t kPoolMagicLive = 0xA110CA7Eu;
+inline constexpr uint32_t kPoolMagicFree = 0xF7EEF7EEu;
+}  // namespace detail
+
 class PoolAllocator {
  public:
   static PoolAllocator& instance();
@@ -35,6 +50,82 @@ class PoolAllocator {
 
   // Returns a block to its owning heap (any thread may call).
   void deallocate(void* p) noexcept;
+
+  // Batched free path. A FreeBatch accumulates blocks, grouping them by
+  // (owning heap, size class) into intrusive chains threaded through the
+  // blocks themselves (no allocation), and returns each whole group with a
+  // single operation: local-heap groups are spliced onto the local free
+  // list, remote groups are spliced into the owner's MPSC stack with ONE
+  // CAS per group instead of one per block — O(heaps × classes) CASes per
+  // reclamation pass instead of O(freed). Poison mode (canary fill,
+  // double-free detection) applies per block exactly as on the single
+  // deallocate() path. Destructors are NOT run: callers destroy payloads
+  // first (see smr::Reclaimable::batch_prep).
+  //
+  // Not thread-safe; one thread owns a FreeBatch. Destructor flushes.
+  // Poison mode is sampled at construction (it is enabled before any
+  // thread allocates, per set_poison's contract), saving an atomic load
+  // per block on the hot add() path.
+  class FreeBatch {
+   public:
+    FreeBatch() noexcept;
+    ~FreeBatch() { flush(); }
+
+    // Adds a block previously returned by allocate(). The payload is dead
+    // after this call (the chain link is stored inside it). The fast path
+    // — poison off, block hits the most recently used group — inlines to
+    // a handful of loads and stores; everything else (poison checks,
+    // group search, eviction, oversized blocks) takes the slow path.
+    void add(void* p) noexcept {
+      if (p == nullptr) return;
+      auto* h = reinterpret_cast<detail::PoolBlockHeader*>(
+          static_cast<char*>(p) - sizeof(detail::PoolBlockHeader));
+      Group& g = groups_[last_];
+      if (!poison_ && h->owner != nullptr && g.owner == h->owner &&
+          g.size_class == h->size_class) {
+        // Free-list blocks always carry free magic, so poison mode can be
+        // turned on later without tripping over batch-freed blocks.
+        h->magic = detail::kPoolMagicFree;
+        *static_cast<void**>(p) = g.head;  // link through the dead payload
+        g.head = p;
+        ++g.count;
+        ++added_;
+        return;
+      }
+      add_slow(p);
+    }
+
+    // Splices every pending group out to its heap. Called automatically on
+    // destruction; idempotent.
+    void flush() noexcept;
+
+    uint64_t blocks_added() const noexcept { return added_; }
+
+    FreeBatch(const FreeBatch&) = delete;
+    FreeBatch& operator=(const FreeBatch&) = delete;
+
+   private:
+    // One pending chain per distinct (heap, class) seen. Sweeps free
+    // nodes of one or two size classes from a handful of heaps, so a
+    // small direct-mapped set suffices; on overflow the fullest group is
+    // spliced early (still far fewer CASes than per-block).
+    struct Group {
+      void* owner = nullptr;  // ThreadHeap*; null slot = empty
+      void* head = nullptr;   // chain of blocks, linked through payloads
+      void* tail = nullptr;
+      uint32_t size_class = 0;
+      uint32_t count = 0;
+    };
+    static constexpr int kWays = 16;
+
+    void add_slow(void* p) noexcept;
+    void flush_group(Group& g) noexcept;
+
+    Group groups_[kWays];
+    int last_ = 0;  // most recently hit group (frees cluster by owner)
+    bool poison_;
+    uint64_t added_ = 0;
+  };
 
   // Typed helpers.
   template <class T, class... Args>
@@ -62,10 +153,15 @@ class PoolAllocator {
   static bool is_poisoned(const void* p) noexcept;
 
   // Global counters (approximate under concurrency; exact at quiescence).
+  // remote_frees counts BLOCKS returned to a non-owning heap;
+  // remote_splices counts the push operations that carried them (one per
+  // single deallocate(), one per FreeBatch group), so
+  // remote_splices <= remote_frees and the gap measures batching wins.
   struct Stats {
     uint64_t allocated_blocks;
     uint64_t freed_blocks;
     uint64_t remote_frees;
+    uint64_t remote_splices;
     uint64_t slabs;
   };
   Stats stats() const noexcept;

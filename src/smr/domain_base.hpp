@@ -9,11 +9,14 @@
 
 #include <atomic>
 #include <cassert>
+#include <memory>
+#include <type_traits>
 #include <utility>
 
 #include "runtime/padded.hpp"
 #include "runtime/pool_alloc.hpp"
 #include "runtime/thread_registry.hpp"
+#include "smr/hp_slots.hpp"
 #include "smr/retire_list.hpp"
 #include "smr/smr_config.hpp"
 
@@ -62,7 +65,31 @@ class DomainCore {
     n->deleter = [](Reclaimable* r) {
       runtime::PoolAllocator::instance().destroy(static_cast<T*>(r));
     };
+    // Batch hook: the sentinel lets sweeps free trivially destructible
+    // nodes with zero per-node dispatch (the base-at-offset-0 check folds
+    // to a constant); otherwise destroy in place and hand back the
+    // allocation address for the batched splice.
+    if (std::is_trivially_destructible_v<T> &&
+        static_cast<void*>(n) == static_cast<void*>(
+                                     static_cast<Reclaimable*>(n))) {
+      n->batch_prep = &batch_prep_identity;
+    } else {
+      n->batch_prep = [](Reclaimable* r) noexcept -> void* {
+        T* p = static_cast<T*>(r);
+        p->~T();
+        return p;
+      };
+    }
     return n;
+  }
+
+  // Batched reclamation pass over the caller's retire list: freeable
+  // blocks are chained and returned to their heaps in grouped splices
+  // (see PoolAllocator::FreeBatch) instead of one free per node.
+  template <class Pred>
+  uint64_t sweep_retired(int tid, Pred&& can_free) {
+    runtime::PoolAllocator::FreeBatch batch;
+    return pt_[tid]->retire.sweep_batch(std::forward<Pred>(can_free), batch);
   }
 
   // Appends to the caller's retire list; returns the new length.
@@ -90,6 +117,19 @@ class DomainCore {
   RetireList& retire_list(int tid) { return pt_[tid]->retire; }
   ThreadStats& stats(int tid) { return pt_[tid]->stats; }
 
+  // Per-thread scratch for reservation scans (kMaxThreads * kMaxSlots
+  // words ≈ 9 KiB). Owner-thread only; lazily allocated on the first
+  // reclamation pass so idle (thread, domain) pairs cost nothing — and
+  // every scheme's reclaim stops re-declaring it on the stack.
+  uintptr_t* scan_scratch(int tid) {
+    auto& pt = *pt_[tid];
+    if (!pt.scan_scratch) {
+      pt.scan_scratch = std::make_unique<uintptr_t[]>(
+          static_cast<std::size_t>(runtime::kMaxThreads) * kMaxSlots);
+    }
+    return pt.scan_scratch.get();
+  }
+
   StatsSnapshot stats_snapshot() const {
     StatsSnapshot s;
     for (int t = 0; t < runtime::kMaxThreads; ++t) s.absorb(pt_[t]->stats);
@@ -104,6 +144,7 @@ class DomainCore {
     RetireList retire;
     ThreadStats stats;
     uint64_t retire_count = 0;  // owner-thread only
+    std::unique_ptr<uintptr_t[]> scan_scratch;  // owner-thread only
     std::atomic<bool> attached{false};
   };
 

@@ -94,7 +94,7 @@ class EbrDomain {
     }
     auto& st = core_.stats(tid);
     st.scans += 1;
-    st.freed += core_.retire_list(tid).sweep([&](Reclaimable* node) {
+    st.freed += core_.sweep_retired(tid, [&](Reclaimable* node) {
       return node->retire_era < min_reserved;
     });
   }

@@ -85,11 +85,11 @@ class HeDomain {
 
  private:
   void scan(int tid) {
-    uintptr_t eras[runtime::kMaxThreads * kMaxSlots];
+    uintptr_t* eras = core_.scan_scratch(tid);
     const int n = slots_.collect(core_.config().num_slots, eras);  // sorted
     auto& st = core_.stats(tid);
     st.scans += 1;
-    st.freed += core_.retire_list(tid).sweep([&](Reclaimable* node) {
+    st.freed += core_.sweep_retired(tid, [&](Reclaimable* node) {
       // Freeable iff no reserved era e with birth <= e <= retire.
       const uintptr_t* lo = std::lower_bound(eras, eras + n, node->birth_era);
       return lo == eras + n || *lo > node->retire_era;

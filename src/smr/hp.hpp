@@ -81,11 +81,11 @@ class HpDomain {
 
  private:
   void scan(int tid) {
-    uintptr_t reserved[runtime::kMaxThreads * kMaxSlots];
+    uintptr_t* reserved = core_.scan_scratch(tid);
     const int n = slots_.collect(core_.config().num_slots, reserved);
     auto& st = core_.stats(tid);
     st.scans += 1;
-    st.freed += core_.retire_list(tid).sweep([&](Reclaimable* node) {
+    st.freed += core_.sweep_retired(tid, [&](Reclaimable* node) {
       return !SlotTable::contains(reserved, n,
                                   reinterpret_cast<uintptr_t>(node));
     });

@@ -91,11 +91,11 @@ class HpAsymDomain {
   void scan(int tid) {
     // Make every reader's published-but-unfenced reservation visible.
     runtime::AsymFence::instance().heavy_fence();
-    uintptr_t reserved[runtime::kMaxThreads * kMaxSlots];
+    uintptr_t* reserved = core_.scan_scratch(tid);
     const int n = slots_.collect(core_.config().num_slots, reserved);
     auto& st = core_.stats(tid);
     st.scans += 1;
-    st.freed += core_.retire_list(tid).sweep([&](Reclaimable* node) {
+    st.freed += core_.sweep_retired(tid, [&](Reclaimable* node) {
       return !SlotTable::contains(reserved, n,
                                   reinterpret_cast<uintptr_t>(node));
     });

@@ -98,7 +98,7 @@ class BrcDomain {
     }
     auto& st = core_.stats(tid);
     st.scans += 1;
-    st.freed += core_.retire_list(tid).sweep([](Reclaimable*) { return true; });
+    st.freed += core_.sweep_retired(tid, [](Reclaimable*) { return true; });
   }
 
   void drain(uint32_t p, int /*self*/) {

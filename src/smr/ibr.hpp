@@ -108,7 +108,7 @@ class IbrDomain {
     }
     auto& st = core_.stats(tid);
     st.scans += 1;
-    st.freed += core_.retire_list(tid).sweep([&](Reclaimable* node) {
+    st.freed += core_.sweep_retired(tid, [&](Reclaimable* node) {
       for (int i = 0; i < n; ++i) {
         if (node->birth_era <= rs[i].hi && rs[i].lo <= node->retire_era) {
           return false;  // lifespan intersects a reserved interval

@@ -216,10 +216,10 @@ class NbrDomain final : public runtime::SignalClient {
         waiter.wait();
       }
     }
-    uintptr_t reserved[runtime::kMaxThreads * kMaxSlots];
+    uintptr_t* reserved = core_.scan_scratch(tid);
     const int n = slots_.collect(core_.config().num_slots, reserved);
     st.scans += 1;
-    st.freed += core_.retire_list(tid).sweep([&](Reclaimable* node) {
+    st.freed += core_.sweep_retired(tid, [&](Reclaimable* node) {
       return !SlotTable::contains(reserved, n,
                                   reinterpret_cast<uintptr_t>(node));
     });

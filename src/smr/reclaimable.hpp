@@ -4,7 +4,21 @@
 // HazardEraPOP) which free a node only if no reservation intersects its
 // lifespan [birth_era, retire_era]. Pointer-based schemes ignore them.
 // rl_next links retired nodes into the owner's intrusive retire list so
-// retiring never allocates. deleter destroys the concrete node type.
+// retiring never allocates.
+//
+// Two destruction hooks:
+//   deleter     destroys the concrete node type AND releases its memory —
+//               the per-node path, used by data-structure teardown (live,
+//               never-retired nodes) and as the fallback for nodes that
+//               did not come from the pool allocator.
+//   batch_prep  destroys the node WITHOUT releasing memory and returns the
+//               pool-allocation address, so a sweep can chain many blocks
+//               and hand them to PoolAllocator::FreeBatch in one splice.
+//               The sentinel &batch_prep_identity marks the common case —
+//               trivially destructible node whose Reclaimable base sits at
+//               offset 0 — letting the sweep skip the indirect call
+//               entirely. nullptr means "not batch-eligible": the sweep
+//               falls back to `deleter`.
 #pragma once
 
 #include <cstdint>
@@ -13,12 +27,18 @@ namespace pop::smr {
 
 struct Reclaimable;
 using Deleter = void (*)(Reclaimable*) /*noexcept*/;
+using BatchPrep = void* (*)(Reclaimable*) /*noexcept*/;
+
+// Sentinel for trivially destructible nodes with the base at offset 0:
+// the Reclaimable pointer IS the allocation address, nothing to run.
+inline void* batch_prep_identity(Reclaimable* r) noexcept { return r; }
 
 struct Reclaimable {
   uint64_t birth_era = 0;
   uint64_t retire_era = 0;
   Reclaimable* rl_next = nullptr;
   Deleter deleter = nullptr;
+  BatchPrep batch_prep = nullptr;
 };
 
 }  // namespace pop::smr

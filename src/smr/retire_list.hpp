@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "runtime/pool_alloc.hpp"
 #include "smr/reclaimable.hpp"
 
 namespace pop::smr {
@@ -20,7 +21,9 @@ class RetireList {
   bool empty() const noexcept { return head_ == nullptr; }
 
   // Walks the list; frees nodes where `can_free(node)` by invoking their
-  // deleter, keeps the rest. Returns the number freed.
+  // deleter, keeps the rest. Returns the number freed. Per-node path kept
+  // for nodes outside the pool allocator; reclamation passes should use
+  // sweep_batch below.
   template <class Pred>
   uint64_t sweep(Pred&& can_free) noexcept {
     Reclaimable* kept_head = nullptr;
@@ -44,9 +47,47 @@ class RetireList {
     return freed;
   }
 
-  // Frees everything unconditionally (domain teardown).
+  // Batched sweep: destroys freeable nodes (running non-trivial
+  // destructors via batch_prep) and chains their memory into `batch`
+  // instead of freeing one block at a time — the batch splices whole
+  // groups back to their owning heaps with one CAS per (heap, class).
+  // Trivially destructible nodes (batch_prep_identity) skip the per-node
+  // indirect call entirely; nodes without a batch hook fall back to their
+  // deleter. Returns the number freed.
+  template <class Pred>
+  uint64_t sweep_batch(Pred&& can_free,
+                       runtime::PoolAllocator::FreeBatch& batch) noexcept {
+    Reclaimable* kept_head = nullptr;
+    uint64_t kept = 0;
+    uint64_t freed = 0;
+    Reclaimable* cur = head_;
+    while (cur != nullptr) {
+      Reclaimable* next = cur->rl_next;
+      if (can_free(cur)) {
+        if (cur->batch_prep == &batch_prep_identity) {
+          batch.add(cur);
+        } else if (cur->batch_prep != nullptr) {
+          batch.add(cur->batch_prep(cur));
+        } else {
+          cur->deleter(cur);
+        }
+        ++freed;
+      } else {
+        cur->rl_next = kept_head;
+        kept_head = cur;
+        ++kept;
+      }
+      cur = next;
+    }
+    head_ = kept_head;
+    len_ = kept;
+    return freed;
+  }
+
+  // Frees everything unconditionally (domain teardown), batched.
   uint64_t drain() noexcept {
-    return sweep([](Reclaimable*) { return true; });
+    runtime::PoolAllocator::FreeBatch batch;
+    return sweep_batch([](Reclaimable*) { return true; }, batch);
   }
 
  private:

@@ -52,10 +52,15 @@ TEST_P(LeakBalance, PoolBalancesAfterTeardown) {
     s->detach_thread();
   }  // ISet destroyed: live nodes freed by the DS, retired by the domain
   const auto after = runtime::PoolAllocator::instance().stats();
+  // Quiescence: every block allocated under this scheme was freed (the
+  // batched sweep path included).
   EXPECT_EQ(after.allocated_blocks - before.allocated_blocks,
             after.freed_blocks - before.freed_blocks)
       << "pool imbalance: some node was never freed (leak) for "
       << std::get<0>(GetParam()) << "/" << std::get<1>(GetParam());
+  // (The strict batching claim — splices < blocks on a batched remote
+  // free — is asserted by PoolAlloc.FreeBatchRemoteSpliceCountsBlocksNot-
+  // Operations, where the workload guarantees a multi-block group.)
 }
 
 std::vector<std::tuple<std::string, std::string>> matrix() {

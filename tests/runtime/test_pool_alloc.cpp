@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <thread>
@@ -131,6 +132,85 @@ TEST(PoolAlloc, CrossThreadProducerConsumer) {
   EXPECT_TRUE(done.load());
 }
 
+TEST(PoolAlloc, FreeBatchReturnsBlocksForReuse) {
+  constexpr int kBlocks = 64;
+  std::vector<void*> blocks;
+  for (int i = 0; i < kBlocks; ++i) blocks.push_back(pool_alloc(48));
+  {
+    PoolAllocator::FreeBatch batch;
+    for (void* p : blocks) batch.add(p);
+    EXPECT_EQ(batch.blocks_added(), static_cast<uint64_t>(kBlocks));
+  }  // flush on destruction: local splice onto this thread's free list
+  // Every freed block must be reusable by the owning thread.
+  std::vector<void*> again;
+  for (int i = 0; i < kBlocks; ++i) again.push_back(pool_alloc(48));
+  for (void* p : again) {
+    EXPECT_NE(std::find(blocks.begin(), blocks.end(), p), blocks.end());
+  }
+  for (void* p : again) pool_free(p);
+}
+
+TEST(PoolAlloc, FreeBatchGroupsAcrossSizeClasses) {
+  std::vector<void*> blocks;
+  for (int i = 0; i < 40; ++i) blocks.push_back(pool_alloc(32 + 48 * (i % 4)));
+  const auto before = PoolAllocator::instance().stats();
+  {
+    PoolAllocator::FreeBatch batch;
+    for (void* p : blocks) batch.add(p);
+  }
+  const auto after = PoolAllocator::instance().stats();
+  EXPECT_EQ(after.freed_blocks - before.freed_blocks, 40u);
+  // Same-thread frees: nothing crossed heaps.
+  EXPECT_EQ(after.remote_frees - before.remote_frees, 0u);
+}
+
+TEST(PoolAlloc, FreeBatchRemoteSpliceCountsBlocksNotOperations) {
+  constexpr int kBlocks = 100;
+  std::vector<void*> blocks;
+  for (int i = 0; i < kBlocks; ++i) blocks.push_back(pool_alloc(256));
+  const auto before = PoolAllocator::instance().stats();
+  test::run_threads(1, [&](int) {
+    PoolAllocator::FreeBatch batch;
+    for (void* p : blocks) batch.add(p);
+  });
+  const auto after = PoolAllocator::instance().stats();
+  // remote_frees counts blocks; the whole single-class group travelled in
+  // one splice (one CAS), not one per block.
+  EXPECT_EQ(after.remote_frees - before.remote_frees,
+            static_cast<uint64_t>(kBlocks));
+  EXPECT_EQ(after.remote_splices - before.remote_splices, 1u);
+  // The owner drains the spliced chain on its next same-class allocation.
+  std::vector<void*> again;
+  for (int i = 0; i < kBlocks; ++i) again.push_back(pool_alloc(256));
+  for (void* p : again) {
+    EXPECT_NE(std::find(blocks.begin(), blocks.end(), p), blocks.end());
+  }
+  for (void* p : again) pool_free(p);
+}
+
+TEST(PoolAlloc, SingleRemoteFreeIsSpliceOfOne) {
+  void* p = pool_alloc(512);
+  const auto before = PoolAllocator::instance().stats();
+  test::run_threads(1, [&](int) { pool_free(p); });
+  const auto after = PoolAllocator::instance().stats();
+  EXPECT_EQ(after.remote_frees - before.remote_frees, 1u);
+  EXPECT_EQ(after.remote_splices - before.remote_splices, 1u);
+  void* q = pool_alloc(512);
+  EXPECT_EQ(p, q);
+  pool_free(q);
+}
+
+TEST(PoolAlloc, FreeBatchOversizedFallsThrough) {
+  void* p = pool_alloc(PoolAllocator::kMaxBlockSize + 4096);
+  const auto before = PoolAllocator::instance().stats();
+  {
+    PoolAllocator::FreeBatch batch;
+    batch.add(p);
+  }
+  const auto after = PoolAllocator::instance().stats();
+  EXPECT_EQ(after.freed_blocks - before.freed_blocks, 1u);
+}
+
 using PoolAllocDeathTest = ::testing::Test;
 
 TEST(PoolAllocDeathTest, PoisonModeCatchesDoubleFree) {
@@ -143,6 +223,61 @@ TEST(PoolAllocDeathTest, PoisonModeCatchesDoubleFree) {
         pool_free(p);  // double free: must abort
       },
       "double free");
+}
+
+TEST(PoolAllocDeathTest, PoisonModeCatchesDoubleFreeViaBatch) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        PoolAllocator::set_poison(true);
+        void* p = pool_alloc(64);
+        pool_free(p);
+        PoolAllocator::FreeBatch batch;
+        batch.add(p);  // double free through the batch path: must abort
+      },
+      "double free");
+}
+
+TEST(PoolAllocDeathTest, PoisonModeFillsBatchFreedPayload) {
+  // The batched path must preserve UAF detection: canary fill on add(),
+  // poisoned-state query, and clean reuse.
+  PoolAllocator::set_poison(true);
+  char* p = static_cast<char*>(pool_alloc(64));
+  std::memset(p, 0x22, 64);
+  {
+    PoolAllocator::FreeBatch batch;
+    batch.add(p);
+    // Poisoned as soon as it enters the batch, before the splice.
+    EXPECT_TRUE(PoolAllocator::is_poisoned(p));
+  }
+  bool poisoned = true;
+  for (int i = 8; i < 64; ++i) {
+    poisoned = poisoned &&
+               (static_cast<unsigned char>(p[i]) == PoolAllocator::kPoisonByte);
+  }
+  EXPECT_TRUE(poisoned);
+  void* q = pool_alloc(64);
+  EXPECT_EQ(q, p);
+  EXPECT_FALSE(PoolAllocator::is_poisoned(q));
+  pool_free(q);
+  PoolAllocator::set_poison(false);
+}
+
+TEST(PoolAllocDeathTest, PoisonEnableAfterBatchFreeIsSafe) {
+  // Blocks batch-freed before poison mode was enabled must still carry
+  // free magic: reuse after enabling must not trip the corruption check.
+  std::vector<void*> blocks;
+  for (int i = 0; i < 16; ++i) blocks.push_back(pool_alloc(96));
+  {
+    PoolAllocator::FreeBatch batch;
+    for (void* p : blocks) batch.add(p);
+  }
+  PoolAllocator::set_poison(true);
+  std::vector<void*> again;
+  for (int i = 0; i < 16; ++i) again.push_back(pool_alloc(96));
+  for (void* p : again) pool_free(p);
+  PoolAllocator::set_poison(false);
+  SUCCEED();
 }
 
 TEST(PoolAllocDeathTest, PoisonModeFillsFreedPayload) {
