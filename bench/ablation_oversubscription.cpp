@@ -7,9 +7,11 @@
 // donates its timeslice to the threads it is waiting on.)
 #include <thread>
 
+#include "cli.hpp"
 #include "driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  pop::bench::apply_bench_cli(argc, argv);
   using namespace pop::bench;
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("# hardware threads: %u (counts beyond this are "

@@ -4,9 +4,11 @@
 //      POP family, higher = more garbage held.
 //  (b) EpochPOP's C multiplier: how aggressively the POP fallback fires.
 //  (c) epoch_freq for the epoch-based schemes.
+#include "cli.hpp"
 #include "driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  pop::bench::apply_bench_cli(argc, argv);
   using namespace pop::bench;
   const uint64_t dur = bench_duration_ms(150);
   const int threads = static_cast<int>(bench_thread_list("4").front());

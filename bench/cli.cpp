@@ -1,0 +1,86 @@
+#include "cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pop::bench {
+
+namespace {
+
+void usage(const char* prog, int exit_code) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--threads N,N,..] [--smr NAME,..] [--ds NAME,..]\n"
+      "          [--duration-ms N] [--json PATH] [--scenario NAME|all]\n"
+      "          [--short] [--list] [--help]\n"
+      "Value flags seed the matching POPSMR_BENCH_* env var; an already\n"
+      "exported var wins over the flag (CI compatibility).\n",
+      prog);
+  std::exit(exit_code);
+}
+
+// setenv-without-override: the env layer keeps priority.
+void seed_env(const char* var, const std::string& value) {
+  ::setenv(var, value.c_str(), /*overwrite=*/0);
+}
+
+// Accepts "--flag value" and "--flag=value"; returns the value and
+// advances *i past a detached one.
+std::string flag_value(int argc, char** argv, int* i, const char* flag,
+                       const char* prog) {
+  const char* arg = argv[*i];
+  const size_t flen = std::strlen(flag);
+  if (arg[flen] == '=') return arg + flen + 1;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s: %s needs a value\n", prog, flag);
+    usage(prog, 2);
+  }
+  return argv[++(*i)];
+}
+
+bool matches(const char* arg, const char* flag) {
+  const size_t flen = std::strlen(flag);
+  return std::strncmp(arg, flag, flen) == 0 &&
+         (arg[flen] == '\0' || arg[flen] == '=');
+}
+
+}  // namespace
+
+CliOptions apply_bench_cli(int argc, char** argv) {
+  CliOptions out;
+  const char* prog = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (matches(arg, "--threads")) {
+      seed_env("POPSMR_BENCH_THREADS",
+               flag_value(argc, argv, &i, "--threads", prog));
+    } else if (matches(arg, "--smr") || matches(arg, "--smrs")) {
+      const char* flag = matches(arg, "--smrs") ? "--smrs" : "--smr";
+      seed_env("POPSMR_BENCH_SMRS", flag_value(argc, argv, &i, flag, prog));
+    } else if (matches(arg, "--ds")) {
+      seed_env("POPSMR_BENCH_DS", flag_value(argc, argv, &i, "--ds", prog));
+    } else if (matches(arg, "--duration-ms")) {
+      seed_env("POPSMR_BENCH_DURATION_MS",
+               flag_value(argc, argv, &i, "--duration-ms", prog));
+    } else if (matches(arg, "--json")) {
+      seed_env("POPSMR_BENCH_JSON",
+               flag_value(argc, argv, &i, "--json", prog));
+    } else if (matches(arg, "--scenario")) {
+      out.scenario = flag_value(argc, argv, &i, "--scenario", prog);
+    } else if (std::strcmp(arg, "--short") == 0) {
+      out.short_mode = true;
+    } else if (std::strcmp(arg, "--list") == 0) {
+      out.list = true;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      usage(prog, 0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", prog, arg);
+      usage(prog, 2);
+    }
+  }
+  return out;
+}
+
+}  // namespace pop::bench

@@ -1,0 +1,35 @@
+// Shared command-line parsing for the bench binaries, layered UNDER the
+// POPSMR_BENCH_* environment knobs for CI compatibility: each value flag
+// seeds the corresponding env var only when that var is not already set,
+// so `POPSMR_BENCH_THREADS=8 bench_x --threads 2` still runs 8 threads
+// and existing CI recipes keep working unchanged.
+//
+//   --threads 1,2,4        -> POPSMR_BENCH_THREADS
+//   --smr EBR,EpochPOP     -> POPSMR_BENCH_SMRS
+//   --ds HML,HMHT          -> POPSMR_BENCH_DS      (bench_scenarios)
+//   --duration-ms 200      -> POPSMR_BENCH_DURATION_MS
+//   --json out.jsonl       -> POPSMR_BENCH_JSON
+//   --scenario NAME|all    scenario selection       (bench_scenarios)
+//   --short                smoke mode: small key range, ~50 ms phases
+//   --list                 list named scenarios and exit
+//   --help                 usage and exit
+//
+// Unknown flags print usage and exit(2); figure binaries simply ignore
+// the fields they don't consume.
+#pragma once
+
+#include <string>
+
+namespace pop::bench {
+
+struct CliOptions {
+  std::string scenario;  // empty = binary's default ("all" for scenarios)
+  bool short_mode = false;
+  bool list = false;
+};
+
+// Parses argv, seeds env knobs (without overriding), and returns the
+// flags that are not env-backed. Exits on --help / parse errors.
+CliOptions apply_bench_cli(int argc, char** argv);
+
+}  // namespace pop::bench

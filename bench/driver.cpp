@@ -1,147 +1,52 @@
 #include "driver.hpp"
 
-#include <atomic>
-#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
-#include <thread>
-#include <utility>
-#include <vector>
 
 #include "runtime/env.hpp"
-#include "runtime/padded.hpp"
-#include "runtime/proc_stats.hpp"
-#include "runtime/rng.hpp"
+#include "workload/scenario_engine.hpp"
 
 namespace pop::bench {
 
-namespace {
-
-struct Counters {
-  uint64_t reads = 0;
-  uint64_t updates = 0;
-};
-
-}  // namespace
-
+// The legacy single-phase entry point, now a thin adapter: WorkloadConfig
+// maps onto a one-phase ScenarioSpec and the scenario engine runs it (one
+// worker-loop implementation for figures, scenarios, and tests alike).
+// Invalid configs (prefill > key_range, op mix over 100%) are clamped by
+// workload::normalize with a clear stderr message instead of silently
+// wrapping as they used to.
 WorkloadResult run_workload(const WorkloadConfig& cfg) {
-  ds::SetConfig sc;
-  sc.capacity = cfg.key_range;
-  sc.load_factor = cfg.load_factor;
-  sc.smr = cfg.smr_cfg;
-  auto set = ds::make_set(cfg.ds, cfg.smr, sc);
-  if (set == nullptr) {
-    std::fprintf(stderr, "unknown ds/smr: %s/%s\n", cfg.ds.c_str(),
-                 cfg.smr.c_str());
-    std::abort();
-  }
+  workload::ScenarioSpec spec;
+  spec.name = "workload";
+  spec.ds = cfg.ds;
+  spec.smr = cfg.smr;
+  spec.threads = cfg.threads;
+  spec.key_range = cfg.key_range;
+  spec.prefill = cfg.prefill;
+  spec.load_factor = cfg.load_factor;
+  spec.smr_cfg = cfg.smr_cfg;
+  workload::PhaseSpec phase;
+  phase.name = "main";
+  phase.duration_ms = cfg.duration_ms;
+  phase.pct_insert = cfg.pct_insert;
+  phase.pct_erase = cfg.pct_erase;
+  phase.split_readers_writers = cfg.split_readers_writers;
+  phase.writer_key_range = cfg.writer_key_range;
+  spec.phases.push_back(phase);
 
-  // Prefill to half the key range (paper §5.0.2): every other key keeps
-  // the fill deterministic across schemes so structures are comparable.
-  // Insertion *order* matters per structure: descending for lists (each
-  // key becomes the new minimum, found right after the head: O(1) per
-  // insert instead of O(n)); BFS-midpoint for the external BST (produces
-  // a balanced tree instead of a degenerate chain). The (a,b)-tree and
-  // hash table are insensitive, and take the midpoint order too.
-  const uint64_t prefill =
-      cfg.prefill == UINT64_MAX ? cfg.key_range / 2 : cfg.prefill;
-  const uint64_t nkeys = cfg.key_range / 2;  // even keys 0,2,4,...
-  uint64_t inserted = 0;
-  if (cfg.ds == "HML" || cfg.ds == "LL") {
-    for (uint64_t i = nkeys; i >= 1 && inserted < prefill; --i) {
-      inserted += set->insert((i - 1) * 2);
-    }
-  } else {
-    // BFS over index ranges: insert the middle even key of each segment.
-    std::vector<std::pair<uint64_t, uint64_t>> queue_;
-    queue_.reserve(64);
-    queue_.emplace_back(0, nkeys);
-    for (size_t qi = 0; qi < queue_.size() && inserted < prefill; ++qi) {
-      const auto [lo, hi] = queue_[qi];
-      if (lo >= hi) continue;
-      const uint64_t mid = lo + (hi - lo) / 2;
-      inserted += set->insert(mid * 2);
-      queue_.emplace_back(lo, mid);
-      queue_.emplace_back(mid + 1, hi);
-    }
-  }
-  // Odd keys (still balanced enough) if a caller asked for more than half.
-  for (uint64_t k = 1; k < cfg.key_range && inserted < prefill; k += 2) {
-    inserted += set->insert(k);
-  }
-  set->detach_thread();
+  const auto r = workload::run_scenario(spec);
 
-  std::atomic<bool> go{false};
-  std::atomic<bool> stop{false};
-  std::vector<runtime::Padded<Counters>> counts(cfg.threads);
-
-  const int writers_from =
-      cfg.split_readers_writers ? cfg.threads / 2 : cfg.threads;
-
-  std::vector<std::thread> workers;
-  workers.reserve(cfg.threads);
-  for (int w = 0; w < cfg.threads; ++w) {
-    workers.emplace_back([&, w] {
-      runtime::Xoshiro256 rng(0x9E3779B9ull * (w + 1) + 12345);
-      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
-      auto& my = *counts[w];
-      if (cfg.split_readers_writers && w < writers_from) {
-        // Dedicated reader (Figure 4): full-range contains only.
-        while (!stop.load(std::memory_order_relaxed)) {
-          (void)set->contains(rng.next_below(cfg.key_range));
-          ++my.reads;
-        }
-      } else if (cfg.split_readers_writers) {
-        // Dedicated updater near the head of the structure.
-        while (!stop.load(std::memory_order_relaxed)) {
-          const uint64_t k = rng.next_below(cfg.writer_key_range);
-          if (rng.percent(50)) {
-            (void)set->insert(k);
-          } else {
-            (void)set->erase(k);
-          }
-          ++my.updates;
-        }
-      } else {
-        while (!stop.load(std::memory_order_relaxed)) {
-          const uint64_t k = rng.next_below(cfg.key_range);
-          const uint64_t dice = rng.next_below(100);
-          if (dice < cfg.pct_insert) {
-            (void)set->insert(k);
-            ++my.updates;
-          } else if (dice < cfg.pct_insert + cfg.pct_erase) {
-            (void)set->erase(k);
-            ++my.updates;
-          } else {
-            (void)set->contains(k);
-            ++my.reads;
-          }
-        }
-      }
-      set->detach_thread();
-    });
-  }
-
-  const auto t0 = std::chrono::steady_clock::now();
-  go.store(true, std::memory_order_release);
-  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
-  stop.store(true, std::memory_order_release);
-  for (auto& t : workers) t.join();
-  const auto t1 = std::chrono::steady_clock::now();
-
-  WorkloadResult r;
-  for (int w = 0; w < cfg.threads; ++w) {
-    r.reads_total += counts[w]->reads;
-    r.updates_total += counts[w]->updates;
-  }
-  r.ops_total = r.reads_total + r.updates_total;
-  r.seconds = std::chrono::duration<double>(t1 - t0).count();
-  r.mops = static_cast<double>(r.ops_total) / r.seconds / 1e6;
-  r.read_mops = static_cast<double>(r.reads_total) / r.seconds / 1e6;
-  r.smr = set->smr_stats();
-  r.vm_hwm_kib = runtime::vm_hwm_kib();
-  r.final_size = set->size_slow();
-  return r;
+  WorkloadResult out;
+  out.ops_total = r.ops_total;
+  out.reads_total = r.reads_total;
+  out.updates_total = r.updates_total;
+  out.mops = r.mops;
+  out.read_mops = r.read_mops;
+  out.seconds = r.seconds;
+  out.smr = r.smr;
+  out.vm_hwm_kib = r.vm_hwm_kib;
+  out.final_size = r.final_size;
+  return out;
 }
 
 void print_table_header(const std::string& title) {
@@ -174,6 +79,16 @@ void append_json_row(const WorkloadConfig& cfg, const WorkloadResult& r) {
   std::fclose(f);
 }
 
+std::vector<std::string> split_csv(const std::string& raw) {
+  std::vector<std::string> out;
+  std::stringstream ss(raw);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
 }  // namespace
 
 void print_row(const WorkloadConfig& cfg, const WorkloadResult& r) {
@@ -193,9 +108,7 @@ void print_row(const WorkloadConfig& cfg, const WorkloadResult& r) {
 std::vector<int> bench_thread_list(const std::string& fallback) {
   const std::string raw = runtime::env_str("POPSMR_BENCH_THREADS", fallback);
   std::vector<int> out;
-  std::stringstream ss(raw);
-  std::string tok;
-  while (std::getline(ss, tok, ',')) {
+  for (const auto& tok : split_csv(raw)) {
     const int v = std::atoi(tok.c_str());
     if (v > 0) out.push_back(v);
   }
@@ -206,12 +119,13 @@ std::vector<int> bench_thread_list(const std::string& fallback) {
 std::vector<std::string> bench_smr_list() {
   const std::string raw = runtime::env_str("POPSMR_BENCH_SMRS", "");
   if (raw.empty()) return ds::all_smr_names();
-  std::vector<std::string> out;
-  std::stringstream ss(raw);
-  std::string tok;
-  while (std::getline(ss, tok, ',')) {
-    if (!tok.empty()) out.push_back(tok);
-  }
+  return split_csv(raw);
+}
+
+std::vector<std::string> bench_ds_list(const std::string& fallback) {
+  const std::string raw = runtime::env_str("POPSMR_BENCH_DS", fallback);
+  auto out = split_csv(raw);
+  if (out.empty()) out.push_back("HML");
   return out;
 }
 

@@ -3,6 +3,14 @@
 // then run a timed phase of randomly chosen insert/delete/contains
 // operations with uniformly random keys, reporting throughput and memory
 // metrics per (data structure, scheme, thread count) cell.
+//
+// run_workload is a thin wrapper over the scenario engine in
+// src/workload/ (a WorkloadConfig is a one-phase ScenarioSpec): the
+// engine owns the worker loop, and also runs the skewed / phased /
+// churning / stalling workloads bench_scenarios sweeps — see
+// workload/scenario.hpp for the axes and workload/scenarios.hpp for the
+// named matrix. bench/cli.hpp layers shared --flags over the
+// POPSMR_BENCH_* environment knobs listed at the bottom of this header.
 #pragma once
 
 #include <cstdint>
@@ -57,16 +65,21 @@ void print_table_header(const std::string& title);
 // Prints one row for `cfg`/`r` in the standard column layout.
 void print_row(const WorkloadConfig& cfg, const WorkloadResult& r);
 
-// Shared environment knobs (every figure binary honours these):
+// Shared environment knobs (every figure binary honours these; the
+// bench/cli.hpp flags seed them only when unset, so exported env wins):
 //   POPSMR_BENCH_DURATION_MS  per-cell duration    (default per figure)
 //   POPSMR_BENCH_THREADS      comma list, e.g. "1,2,4"
 //   POPSMR_BENCH_SMRS         comma list of scheme names
+//   POPSMR_BENCH_DS           comma list of data structures (bench_scenarios)
 //   POPSMR_BENCH_JSON         path; print_row also appends one JSON object
 //                             per cell (JSON Lines: ds, smr, threads, mops,
 //                             read_mops, vm_hwm_kib, freed, signals_sent) —
-//                             the BENCH_*.json perf-trajectory rail
+//                             the BENCH_*.json perf-trajectory rail.
+//                             bench_scenarios appends kind-tagged phase and
+//                             mem_sample rows to the same file
 std::vector<int> bench_thread_list(const std::string& fallback);
 std::vector<std::string> bench_smr_list();
+std::vector<std::string> bench_ds_list(const std::string& fallback);
 uint64_t bench_duration_ms(uint64_t fallback);
 
 }  // namespace pop::bench

@@ -6,9 +6,11 @@
 // per-read work, one announcement per op, batch frees after grace
 // periods). The comparison of interest — POP vs a fast low-memory
 // non-reservation scheme — is preserved.
+#include "cli.hpp"
 #include "driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  pop::bench::apply_bench_cli(argc, argv);
   using namespace pop::bench;
   struct DsCase {
     const char* ds;

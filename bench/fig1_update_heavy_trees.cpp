@@ -8,9 +8,11 @@
 // 200 ms cells, threshold 512); shapes — who wins, who pays fences, whose
 // retire lists stay small — are what to compare. Override with
 // POPSMR_BENCH_{THREADS,SMRS,DURATION_MS}.
+#include "cli.hpp"
 #include "driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  pop::bench::apply_bench_cli(argc, argv);
   using namespace pop::bench;
   struct DsCase {
     const char* ds;

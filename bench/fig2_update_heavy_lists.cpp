@@ -4,9 +4,11 @@
 //
 // Scaled to this container (see fig1 header comment); override with
 // POPSMR_BENCH_{THREADS,SMRS,DURATION_MS}.
+#include "cli.hpp"
 #include "driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  pop::bench::apply_bench_cli(argc, argv);
   using namespace pop::bench;
   const char* dss[] = {"HML", "LL"};
   const auto threads = bench_thread_list("1,2,4");

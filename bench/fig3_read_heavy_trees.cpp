@@ -4,9 +4,11 @@
 // every read, while the POP family reads fence-free.
 //
 // Scaled to this container; override with POPSMR_BENCH_* (see fig1).
+#include "cli.hpp"
 #include "driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  pop::bench::apply_bench_cli(argc, argv);
   using namespace pop::bench;
   struct DsCase {
     const char* ds;

@@ -19,13 +19,15 @@
 // *reader* throughput is not the fastest here; the paper's comparison to
 // take away is POP-family vs NBR as reads get longer, and NBR's restart
 // count.
+#include "cli.hpp"
 #include "driver.hpp"
 
 #include <map>
 
 #include "runtime/env.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  pop::bench::apply_bench_cli(argc, argv);
   using namespace pop::bench;
   std::vector<uint64_t> sizes = {10'000, 50'000, 100'000};
   if (const uint64_t s = pop::runtime::env_u64("POPSMR_BENCH_LIST_SIZE", 0);

@@ -6,9 +6,11 @@
 // Note VmHWM is a process-lifetime high-watermark: compare rows within
 // one scheme sweep qualitatively, or run single cells via the env knobs
 // for exact numbers.
+#include "cli.hpp"
 #include "driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  pop::bench::apply_bench_cli(argc, argv);
   using namespace pop::bench;
   struct DsCase {
     const char* ds;

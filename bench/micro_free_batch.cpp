@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "cli.hpp"
 #include "driver.hpp"
 #include "runtime/env.hpp"
 #include "runtime/pool_alloc.hpp"
@@ -183,7 +184,8 @@ PairResult run(int threads, uint64_t blocks, uint64_t rounds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pop::bench::apply_bench_cli(argc, argv);
   using namespace pop::runtime;
   const auto thread_list = pop::bench::bench_thread_list("8");
   const uint64_t blocks = env_u64("POPSMR_MICRO_BLOCKS", 4096);

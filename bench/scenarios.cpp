@@ -1,0 +1,118 @@
+// bench_scenarios: runs the named scenario matrix — skewed, phased,
+// churning, and stalling workloads — per (ds, smr, threads) cell and
+// reports per-phase throughput plus the robustness trajectory (peak vs
+// recovered unreclaimed memory around an injected stall).
+//
+//   bench_scenarios --list
+//   bench_scenarios --scenario stall-recovery --ds HML \
+//       --smr EBR,EpochPOP --threads 4
+//   bench_scenarios --scenario all --short        # CI smoke matrix
+//
+// With POPSMR_BENCH_JSON (or --json) set, every cell appends kind-tagged
+// JSON Lines: one "scenario" summary, one "phase" row per phase, and one
+// "mem_sample" row per timeline point — enough to plot unreclaimed
+// memory over time across the park/resume window.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "driver.hpp"
+#include "runtime/env.hpp"
+#include "workload/jsonl.hpp"
+#include "workload/scenario_engine.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace pop;
+using namespace pop::bench;
+using namespace pop::workload;
+
+void print_scenario_header(const std::string& scenario) {
+  std::printf("\n# scenario %s: %s\n", scenario.c_str(),
+              scenario_description(scenario).c_str());
+  std::printf("%-5s %-13s %3s %-12s %8s %9s %10s %11s %9s %8s\n", "ds",
+              "smr", "thr", "phase", "Mops", "readMops", "unreclaimed",
+              "maxRetire", "signals", "churn");
+  std::fflush(stdout);
+}
+
+void print_cell(const ScenarioSpec& spec, const ScenarioResult& r) {
+  for (const auto& p : r.phases) {
+    std::printf("%-5s %-13s %3d %-12s %8.3f %9.3f %10llu %11llu %9llu %8llu\n",
+                spec.ds.c_str(), spec.smr.c_str(), p.threads, p.name.c_str(),
+                p.mops, p.read_mops,
+                static_cast<unsigned long long>(p.unreclaimed_end),
+                static_cast<unsigned long long>(p.smr_delta.max_retire_len),
+                static_cast<unsigned long long>(p.smr_delta.signals_sent),
+                static_cast<unsigned long long>(r.churn_cycles));
+  }
+  if (spec.stall.enabled) {
+    std::printf("      %-13s stall: baseline %llu -> peak %llu -> final %llu "
+                "unreclaimed (parked %llu..%llu ms, %zu samples)\n",
+                spec.smr.c_str(),
+                static_cast<unsigned long long>(r.baseline_unreclaimed),
+                static_cast<unsigned long long>(r.stall_peak_unreclaimed),
+                static_cast<unsigned long long>(r.final_unreclaimed),
+                static_cast<unsigned long long>(r.stall_parked_at_ms),
+                static_cast<unsigned long long>(r.stall_resumed_at_ms),
+                r.samples.size());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = apply_bench_cli(argc, argv);
+
+  if (cli.list) {
+    for (const auto& name : scenario_names()) {
+      std::printf("%-22s %s\n", name.c_str(),
+                  scenario_description(name).c_str());
+    }
+    return 0;
+  }
+
+  std::vector<std::string> selected;
+  if (cli.scenario.empty() || cli.scenario == "all") {
+    selected = scenario_names();
+  } else {
+    if (!make_scenario(cli.scenario, {})) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                   cli.scenario.c_str());
+      return 2;
+    }
+    selected.push_back(cli.scenario);
+  }
+
+  const auto ds_list = bench_ds_list("HML");
+  const auto smrs = bench_smr_list();
+  const auto threads = bench_thread_list("4");
+  const std::string json = runtime::env_str("POPSMR_BENCH_JSON", "");
+
+  for (const auto& scenario : selected) {
+    print_scenario_header(scenario);
+    for (const auto& ds : ds_list) {
+      for (int t : threads) {
+        for (const auto& smr : smrs) {
+          ScenarioBuild b;
+          b.ds = ds;
+          b.smr = smr;
+          b.threads = t;
+          if (cli.short_mode) {
+            // ~50 ms phases over a small universe: the CI smoke matrix.
+            b.time_scale = 0.25;
+            b.key_range = 512;
+          }
+          auto spec = make_scenario(scenario, b);
+          const auto r = run_scenario(*spec);
+          print_cell(*spec, r);
+          emit_scenario_jsonl(json, *spec, r);
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 // perturb the per-read costs the paper measures.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -33,6 +34,15 @@ class ISet {
   // Called by each worker thread before it exits so reclaimers stop
   // waiting on it (and its reservations are dropped).
   virtual void detach_thread() = 0;
+
+  // Fault injection for the scenario engine's stall workloads: parks the
+  // calling thread *inside* an SMR operation bracket (begin_op held, any
+  // entry-time reservation — e.g. an announced epoch/era — live) until
+  // `release` becomes true. This is the paper's stalled-reader failure
+  // mode on demand: under EBR the parked thread pins the global epoch and
+  // garbage grows for as long as it sleeps; under the POP schemes a
+  // reclaimer pings it and frees around its published reservations.
+  virtual void park_in_operation(const std::atomic<bool>& release) = 0;
 
   virtual smr::StatsSnapshot smr_stats() const = 0;
   virtual uint64_t size_slow() const = 0;

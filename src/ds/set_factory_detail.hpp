@@ -3,8 +3,11 @@
 // (one translation unit per data structure keeps rebuilds incremental).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "ds/iset.hpp"
@@ -23,6 +26,21 @@ class SetAdapter final : public ISet {
   bool erase(uint64_t key) override { return ds_.erase(key); }
   bool contains(uint64_t key) override { return ds_.contains(key); }
   void detach_thread() override { ds_.domain().detach(); }
+
+  // Safe for every scheme: the bare begin_op/end_op bracket never arms
+  // NBR's neutralization (no checkpoint, so its handler only acks), and
+  // for the epoch/era schemes the bracket itself is the reservation that
+  // makes the stall observable.
+  void park_in_operation(const std::atomic<bool>& release) override {
+    auto& d = ds_.domain();
+    d.begin_op();
+    while (!release.load(std::memory_order_acquire)) {
+      // Sleep, don't spin: a parked victim must not steal cycles from the
+      // workers whose garbage it is pinning (signals still interrupt it).
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    d.end_op();
+  }
   smr::StatsSnapshot smr_stats() const override {
     return const_cast<DsT&>(ds_).domain().stats();
   }

@@ -1,9 +1,16 @@
 // Per-thread pseudo-random numbers for workload generation.
 // splitmix64 seeds xoshiro256** (Blackman & Vigna); both are tiny,
 // allocation-free and fast enough to never show up in profiles.
+//
+// On top of the uniform core sit the skewed key generators the scenario
+// engine (src/workload/) composes workloads from: ZipfTable (precomputed
+// CDF, Θ configurable) and HotspotDist (a movable hot window).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 namespace pop::runtime {
 
@@ -43,11 +50,98 @@ class Xoshiro256 {
   // True with probability pct/100.
   bool percent(uint32_t pct) noexcept { return next_below(100) < pct; }
 
+  // Uniform double in [0, 1) with 53 random bits.
+  double next_unit() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
  private:
   static uint64_t rotl(uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }
   uint64_t s_[4];
+};
+
+// Zipfian distribution over ranks [0, n): P(rank = i) ∝ 1/(i+1)^theta.
+// theta = 0 degenerates to uniform; YCSB's default skew is theta = 0.99.
+// The CDF is precomputed once (O(n) doubles) and shared immutably across
+// worker threads; each draw costs one uniform double plus an O(log n)
+// binary search — no per-thread tables, no allocation on the draw path.
+//
+// sample() returns a *rank* (0 = most popular). Callers that don't want
+// the hot keys clustered at the low end of the key space scramble the
+// rank themselves (see workload::KeyPicker).
+class ZipfTable {
+ public:
+  ZipfTable(uint64_t n, double theta) : theta_(theta), cdf_(n ? n : 1) {
+    const uint64_t m = cdf_.size();
+    double mass = 0;
+    for (uint64_t i = 0; i < m; ++i) {
+      mass += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    }
+    double acc = 0;
+    for (uint64_t i = 0; i < m; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), theta) / mass;
+      cdf_[i] = acc;
+    }
+    cdf_[m - 1] = 1.0;  // guard against accumulated rounding
+  }
+
+  uint64_t n() const noexcept { return cdf_.size(); }
+  double theta() const noexcept { return theta_; }
+
+  // Exact probability of `rank`, for statistical tests and reporting.
+  double pmf(uint64_t rank) const noexcept {
+    if (rank >= cdf_.size()) return 0.0;
+    return cdf_[rank] - (rank == 0 ? 0.0 : cdf_[rank - 1]);
+  }
+
+  uint64_t sample(Xoshiro256& rng) const noexcept {
+    const double u = rng.next_unit();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<uint64_t>(it - cdf_.begin());
+  }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+// Hotspot distribution: a contiguous window of `hot_fraction * range`
+// keys receives `hot_pct`% of the draws; the remainder are uniform over
+// the whole range. The window start is caller-supplied per draw so a
+// coordinator can slide the hotspot over time (moving-hotspot
+// workloads) without touching per-thread state.
+class HotspotDist {
+ public:
+  HotspotDist(uint64_t range, double hot_fraction, uint32_t hot_pct) noexcept
+      : range_(range ? range : 1),
+        hot_size_(window_size(range_, hot_fraction)),
+        hot_pct_(hot_pct > 100 ? 100 : hot_pct) {}
+
+  uint64_t range() const noexcept { return range_; }
+  uint64_t hot_size() const noexcept { return hot_size_; }
+  uint32_t hot_pct() const noexcept { return hot_pct_; }
+
+  uint64_t sample(Xoshiro256& rng, uint64_t window_start = 0) const noexcept {
+    if (rng.percent(hot_pct_)) {
+      return (window_start % range_ + rng.next_below(hot_size_)) % range_;
+    }
+    return rng.next_below(range_);
+  }
+
+ private:
+  static uint64_t window_size(uint64_t range, double frac) noexcept {
+    if (!(frac > 0.0)) return 1;
+    if (frac >= 1.0) return range;
+    const auto w = static_cast<uint64_t>(frac * static_cast<double>(range));
+    return w == 0 ? 1 : w;
+  }
+
+  uint64_t range_;
+  uint64_t hot_size_;
+  uint32_t hot_pct_;
 };
 
 }  // namespace pop::runtime

@@ -1,0 +1,86 @@
+// JSON Lines emission for scenario runs: one "scenario" summary row, one
+// "phase" row per phase, one "mem_sample" row per timeline point, all
+// appended to the same file the figure binaries write their per-cell rows
+// to (POPSMR_BENCH_JSON) — a `kind` field keeps the streams separable.
+// Values are numbers and [A-Za-z0-9_-] identifiers only, so no string
+// escaping is needed.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "workload/scenario.hpp"
+
+namespace pop::workload {
+
+inline void emit_scenario_jsonl(const std::string& path,
+                                const ScenarioSpec& spec,
+                                const ScenarioResult& r) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  const char* nm = spec.name.c_str();
+  const char* ds = spec.ds.c_str();
+  const char* smr = spec.smr.c_str();
+
+  std::fprintf(
+      f,
+      "{\"kind\":\"scenario\",\"scenario\":\"%s\",\"ds\":\"%s\","
+      "\"smr\":\"%s\",\"threads\":%d,\"seconds\":%.6f,\"mops\":%.6f,"
+      "\"read_mops\":%.6f,\"retired\":%llu,\"freed\":%llu,"
+      "\"signals_sent\":%llu,\"vm_hwm_kib\":%llu,\"churn_cycles\":%llu,"
+      "\"baseline_unreclaimed\":%llu,\"stall_peak_unreclaimed\":%llu,"
+      "\"final_unreclaimed\":%llu,\"stall_parked_at_ms\":%llu,"
+      "\"stall_resumed_at_ms\":%llu}\n",
+      nm, ds, smr, spec.threads, r.seconds, r.mops, r.read_mops,
+      static_cast<unsigned long long>(r.smr.retired),
+      static_cast<unsigned long long>(r.smr.freed),
+      static_cast<unsigned long long>(r.smr.signals_sent),
+      static_cast<unsigned long long>(r.vm_hwm_kib),
+      static_cast<unsigned long long>(r.churn_cycles),
+      static_cast<unsigned long long>(r.baseline_unreclaimed),
+      static_cast<unsigned long long>(r.stall_peak_unreclaimed),
+      static_cast<unsigned long long>(r.final_unreclaimed),
+      static_cast<unsigned long long>(r.stall_parked_at_ms),
+      static_cast<unsigned long long>(r.stall_resumed_at_ms));
+
+  for (size_t i = 0; i < r.phases.size(); ++i) {
+    const PhaseResult& p = r.phases[i];
+    std::fprintf(
+        f,
+        "{\"kind\":\"phase\",\"scenario\":\"%s\",\"ds\":\"%s\","
+        "\"smr\":\"%s\",\"phase\":\"%s\",\"idx\":%zu,\"threads\":%d,"
+        "\"seconds\":%.6f,\"mops\":%.6f,\"read_mops\":%.6f,"
+        "\"retired\":%llu,\"freed\":%llu,\"signals_sent\":%llu,"
+        "\"pings\":%llu,\"neutralized\":%llu,\"max_retire_len\":%llu,"
+        "\"unreclaimed_end\":%llu}\n",
+        nm, ds, smr, p.name.c_str(), i, p.threads, p.seconds, p.mops,
+        p.read_mops, static_cast<unsigned long long>(p.smr_delta.retired),
+        static_cast<unsigned long long>(p.smr_delta.freed),
+        static_cast<unsigned long long>(p.smr_delta.signals_sent),
+        static_cast<unsigned long long>(p.smr_delta.pings_received),
+        static_cast<unsigned long long>(p.smr_delta.neutralized),
+        static_cast<unsigned long long>(p.smr_delta.max_retire_len),
+        static_cast<unsigned long long>(p.unreclaimed_end));
+  }
+
+  for (const MemSample& m : r.samples) {
+    std::fprintf(
+        f,
+        "{\"kind\":\"mem_sample\",\"scenario\":\"%s\",\"ds\":\"%s\","
+        "\"smr\":\"%s\",\"t_ms\":%llu,\"phase\":%d,\"vm_rss_kib\":%llu,"
+        "\"vm_hwm_kib\":%llu,\"unreclaimed\":%llu,\"pool_live_blocks\":%llu,"
+        "\"victim_parked\":%d}\n",
+        nm, ds, smr, static_cast<unsigned long long>(m.t_ms), m.phase,
+        static_cast<unsigned long long>(m.vm_rss_kib),
+        static_cast<unsigned long long>(m.vm_hwm_kib),
+        static_cast<unsigned long long>(m.unreclaimed()),
+        static_cast<unsigned long long>(
+            m.pool_freed > m.pool_allocated ? 0
+                                            : m.pool_allocated - m.pool_freed),
+        m.victim_parked ? 1 : 0);
+  }
+  std::fclose(f);
+}
+
+}  // namespace pop::workload

@@ -1,0 +1,51 @@
+// Per-phase key selection: binds a KeyDistSpec to the shared generator
+// state (an immutable ZipfTable, the moving-hotspot window counter) and
+// hands workers a single next() call on their private rng.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace pop::workload {
+
+class KeyPicker {
+ public:
+  // `zipf` must outlive the picker and is only consulted for kZipfian.
+  KeyPicker(const KeyDistSpec& spec, uint64_t key_range,
+            const runtime::ZipfTable* zipf)
+      : kind_(spec.kind),
+        range_(key_range ? key_range : 1),
+        zipf_(zipf),
+        hotspot_(key_range, spec.hot_fraction, spec.hot_op_pct) {}
+
+  // `hot_window` is the coordinator-published window index for moving
+  // hotspots (ignored by the other distributions).
+  uint64_t next(runtime::Xoshiro256& rng, uint64_t hot_window) const {
+    switch (kind_) {
+      case KeyDist::kUniform:
+        return rng.next_below(range_);
+      case KeyDist::kZipfian: {
+        // Scramble the rank so the popular keys are spread over the key
+        // space instead of clustered at the low end (which for the list
+        // structures would conflate skew with head locality). The hash is
+        // not a bijection; rank collisions just merge two ranks' mass.
+        uint64_t h = zipf_->sample(rng) + 0x9e3779b97f4a7c15ull;
+        h = runtime::splitmix64(h);
+        return h % range_;
+      }
+      case KeyDist::kHotspot:
+        return hotspot_.sample(rng, hot_window * hotspot_.hot_size());
+    }
+    return 0;  // unreachable
+  }
+
+ private:
+  KeyDist kind_;
+  uint64_t range_;
+  const runtime::ZipfTable* zipf_;
+  runtime::HotspotDist hotspot_;
+};
+
+}  // namespace pop::workload

@@ -1,0 +1,167 @@
+// Scenario engine vocabulary: a ScenarioSpec composes a benchmark run
+// from four orthogonal axes —
+//
+//   * key distribution   (uniform | Zipfian | [moving] hotspot, per phase)
+//   * phase schedule     (timed phases changing op mix / thread count)
+//   * thread lifecycle   (static pool, or churn: workers exit and fresh
+//                         threads re-register mid-run, recycling registry
+//                         tids under in-flight ping waves)
+//   * fault injection    (a stall injector that parks a victim worker
+//                         inside an SMR operation, pinning whatever its
+//                         scheme publishes at op entry)
+//
+// plus a background memory-timeline sampler, so robustness shows up as a
+// plotted trajectory (unreclaimed nodes / RSS over time) instead of one
+// end-of-run number. `run_scenario` executes a spec; `normalize`
+// validates and clamps it first. The legacy bench driver's run_workload
+// is a one-phase wrapper over this engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smr/smr_config.hpp"
+
+namespace pop::workload {
+
+enum class KeyDist { kUniform, kZipfian, kHotspot };
+
+struct KeyDistSpec {
+  KeyDist kind = KeyDist::kUniform;
+  // Zipfian skew (theta = 0 is uniform; YCSB's default is 0.99).
+  double zipf_theta = 0.99;
+  // Hotspot: `hot_fraction` of the key range receives `hot_op_pct`% of
+  // the operations; a nonzero move interval slides the window while the
+  // phase runs (workers pick it up via a shared window counter).
+  double hot_fraction = 0.10;
+  uint32_t hot_op_pct = 90;
+  uint64_t hot_move_every_ms = 0;
+};
+
+struct PhaseSpec {
+  std::string name = "main";
+  uint64_t duration_ms = 100;
+  // Operation mix in percent; the remainder is contains().
+  uint32_t pct_insert = 25;
+  uint32_t pct_erase = 25;
+  // Active worker count this phase; 0 inherits ScenarioSpec::threads.
+  // Slots beyond the active count idle (they stay registered but run no
+  // operations), so a burst phase can oversubscribe and a drain phase can
+  // quiesce without tearing the pool down.
+  int threads = 0;
+  KeyDistSpec keys;
+  // Figure-4 mode: the first half of the active workers only run
+  // contains() over the full range; the rest update [0, writer_key_range)
+  // 50/50. pct_insert/pct_erase and `keys` are ignored when set (the
+  // roles fix both the mix and the distribution; normalize() warns).
+  bool split_readers_writers = false;
+  uint64_t writer_key_range = 64;
+};
+
+struct ChurnSpec {
+  bool enabled = false;
+  // Every interval one worker exits (deregistering its tid) and a fresh
+  // thread is spawned into its slot, re-registering — the recycled-tid
+  // path reclaimers' ping waves must survive.
+  uint64_t interval_ms = 25;
+};
+
+struct StallSpec {
+  bool enabled = false;
+  int victim = 0;              // worker slot to park
+  uint64_t park_after_ms = 0;  // measured from the start of phase 0
+  uint64_t park_for_ms = 50;
+};
+
+struct ScenarioSpec {
+  std::string name = "custom";
+  std::string ds = "HML";
+  std::string smr = "NR";
+  int threads = 2;
+  uint64_t key_range = 2048;
+  // Keys prefilled before phase 0 (default: key_range / 2).
+  uint64_t prefill = UINT64_MAX;
+  double load_factor = 6.0;  // hash table only
+  smr::SmrConfig smr_cfg;
+  std::vector<PhaseSpec> phases;  // empty => one default phase
+  ChurnSpec churn;
+  StallSpec stall;
+  // Background sampler cadence; 0 disables the timeline.
+  uint64_t mem_sample_every_ms = 0;
+};
+
+// Validates and clamps `spec` in place: fills defaulted fields (empty
+// phase list, inherited per-phase thread counts), clamps out-of-range
+// values (prefill > key_range, pct_insert + pct_erase > 100, thread
+// counts beyond the registry, degenerate distribution parameters) and
+// returns one human-readable message per adjustment. run_scenario calls
+// this itself and prints the messages to stderr; callers that want to
+// *reject* bad specs instead can call it first and treat a non-empty
+// result as an error.
+std::vector<std::string> normalize(ScenarioSpec& spec);
+
+// One point on the memory timeline, taken by the background sampler.
+// Counter reads are racy-but-benign (SWMR u64 cells, torn values are off
+// by at most one op) — the timeline is for plotting, not accounting.
+struct MemSample {
+  uint64_t t_ms = 0;  // since phase 0 started
+  int phase = 0;
+  uint64_t vm_rss_kib = 0;
+  uint64_t vm_hwm_kib = 0;
+  uint64_t retired = 0;
+  uint64_t freed = 0;  // unreclaimed = retired - freed
+  uint64_t pool_allocated = 0;
+  uint64_t pool_freed = 0;
+  bool victim_parked = false;
+  // Saturating: a torn mid-run snapshot can catch a batched sweep between
+  // its retired and freed reads and see freed > retired momentarily.
+  uint64_t unreclaimed() const { return freed > retired ? 0 : retired - freed; }
+};
+
+struct PhaseResult {
+  std::string name;
+  int threads = 0;
+  double seconds = 0;
+  uint64_t ops = 0;
+  uint64_t reads = 0;
+  uint64_t updates = 0;
+  double mops = 0;
+  double read_mops = 0;
+  // Scheme counters accrued during this phase (end minus start snapshot;
+  // max_retire_len is the end-of-phase high-watermark, not a delta).
+  smr::StatsSnapshot smr_delta;
+  uint64_t unreclaimed_end = 0;
+};
+
+struct ScenarioResult {
+  std::vector<PhaseResult> phases;
+  std::vector<MemSample> samples;
+  // Aggregates over the whole run (same meaning as the legacy
+  // WorkloadResult fields).
+  uint64_t ops_total = 0;
+  uint64_t reads_total = 0;
+  uint64_t updates_total = 0;
+  double mops = 0;
+  double read_mops = 0;
+  double seconds = 0;
+  smr::StatsSnapshot smr;
+  uint64_t vm_hwm_kib = 0;
+  uint64_t final_size = 0;
+  // Thread-lifecycle accounting.
+  uint64_t churn_cycles = 0;
+  // Stall accounting (meaningful when the spec enabled the injector):
+  // unreclaimed just before the victim parked, the maximum observed while
+  // it slept, and the value after the run drained.
+  uint64_t baseline_unreclaimed = 0;
+  uint64_t stall_peak_unreclaimed = 0;
+  uint64_t final_unreclaimed = 0;
+  uint64_t stall_parked_at_ms = 0;
+  uint64_t stall_resumed_at_ms = 0;
+  std::vector<std::string> warnings;  // what normalize() adjusted
+};
+
+// The engine itself — ScenarioResult run_scenario(const ScenarioSpec&) —
+// lives in scenario_engine.hpp.
+
+}  // namespace pop::workload

@@ -1,0 +1,398 @@
+#include "workload/scenario_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ds/iset.hpp"
+#include "runtime/padded.hpp"
+#include "runtime/pool_alloc.hpp"
+#include "runtime/proc_stats.hpp"
+#include "runtime/rng.hpp"
+#include "workload/key_dist.hpp"
+
+namespace pop::workload {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Counters {
+  uint64_t reads = 0;
+  uint64_t updates = 0;
+};
+
+// Per-slot control word, written rarely by the coordinator and polled
+// once per operation by the owning worker (a read-mostly private line).
+struct SlotCtrl {
+  std::atomic<bool> exit_now{false};
+  std::atomic<bool> park{false};
+};
+
+// Prefill to half the key range (paper §5.0.2): every other key keeps
+// the fill deterministic across schemes so structures are comparable.
+// Insertion *order* matters per structure: descending for lists (each
+// key becomes the new minimum, found right after the head: O(1) per
+// insert instead of O(n)); BFS-midpoint for the external BST (produces
+// a balanced tree instead of a degenerate chain). The (a,b)-tree and
+// hash table are insensitive, and take the midpoint order too.
+void prefill_set(ds::ISet& set, const ScenarioSpec& spec) {
+  const uint64_t prefill =
+      spec.prefill == UINT64_MAX ? spec.key_range / 2 : spec.prefill;
+  const uint64_t nkeys = spec.key_range / 2;  // even keys 0,2,4,...
+  uint64_t inserted = 0;
+  if (spec.ds == "HML" || spec.ds == "LL") {
+    for (uint64_t i = nkeys; i >= 1 && inserted < prefill; --i) {
+      inserted += set.insert((i - 1) * 2);
+    }
+  } else {
+    // BFS over index ranges: insert the middle even key of each segment.
+    std::vector<std::pair<uint64_t, uint64_t>> queue_;
+    queue_.reserve(64);
+    queue_.emplace_back(0, nkeys);
+    for (size_t qi = 0; qi < queue_.size() && inserted < prefill; ++qi) {
+      const auto [lo, hi] = queue_[qi];
+      if (lo >= hi) continue;
+      const uint64_t mid = lo + (hi - lo) / 2;
+      inserted += set.insert(mid * 2);
+      queue_.emplace_back(lo, mid);
+      queue_.emplace_back(mid + 1, hi);
+    }
+  }
+  // Odd keys (still balanced enough) if a caller asked for more than half.
+  for (uint64_t k = 1; k < spec.key_range && inserted < prefill; k += 2) {
+    inserted += set.insert(k);
+  }
+  set.detach_thread();
+}
+
+// End-minus-start of the SWMR per-thread counters; max_retire_len is a
+// high-watermark, so the phase keeps the end value rather than a delta.
+smr::StatsSnapshot snapshot_delta(const smr::StatsSnapshot& a,
+                                  const smr::StatsSnapshot& b) {
+  smr::StatsSnapshot d;
+  d.retired = b.retired - a.retired;
+  d.freed = b.freed - a.freed;
+  d.scans = b.scans - a.scans;
+  d.signals_sent = b.signals_sent - a.signals_sent;
+  d.pings_received = b.pings_received - a.pings_received;
+  d.neutralized = b.neutralized - a.neutralized;
+  d.ebr_frees = b.ebr_frees - a.ebr_frees;
+  d.pop_frees = b.pop_frees - a.pop_frees;
+  d.max_retire_len = b.max_retire_len;
+  return d;
+}
+
+// Mid-run probes read the SWMR counters racily; a torn read can catch a
+// batched sweep between retired and freed and see freed ahead — saturate
+// instead of wrapping.
+uint64_t unreclaimed_now(const ds::ISet& set) {
+  const auto s = set.smr_stats();
+  return s.freed > s.retired ? 0 : s.retired - s.freed;
+}
+
+uint64_t ms_since(Clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
+  ScenarioSpec spec = spec_in;
+  ScenarioResult res;
+  res.warnings = normalize(spec);
+  for (const auto& w : res.warnings) {
+    std::fprintf(stderr, "popsmr scenario '%s': %s\n", spec.name.c_str(),
+                 w.c_str());
+  }
+
+  ds::SetConfig sc;
+  sc.capacity = spec.key_range;
+  sc.load_factor = spec.load_factor;
+  sc.smr = spec.smr_cfg;
+  auto set = ds::make_set(spec.ds, spec.smr, sc);
+  if (set == nullptr) {
+    std::fprintf(stderr, "unknown ds/smr: %s/%s\n", spec.ds.c_str(),
+                 spec.smr.c_str());
+    std::abort();
+  }
+  prefill_set(*set, spec);
+
+  const int nph = static_cast<int>(spec.phases.size());
+  int max_threads = 1;
+  for (const auto& p : spec.phases) max_threads = std::max(max_threads, p.threads);
+
+  // Shared Zipf tables: one per distinct theta (all phases draw over the
+  // same key range), built once and read immutably by every worker.
+  std::vector<std::unique_ptr<runtime::ZipfTable>> zipf_tables;
+  std::vector<KeyPicker> pickers;
+  pickers.reserve(nph);
+  for (const auto& p : spec.phases) {
+    const runtime::ZipfTable* table = nullptr;
+    if (p.keys.kind == KeyDist::kZipfian) {
+      for (const auto& t : zipf_tables) {
+        if (t->theta() == p.keys.zipf_theta) table = t.get();
+      }
+      if (table == nullptr) {
+        zipf_tables.push_back(std::make_unique<runtime::ZipfTable>(
+            spec.key_range, p.keys.zipf_theta));
+        table = zipf_tables.back().get();
+      }
+    }
+    pickers.emplace_back(p.keys, spec.key_range, table);
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<int> phase_idx{0};
+  std::atomic<uint64_t> hot_window{0};
+  std::atomic<bool> park_release{false};
+  std::atomic<bool> victim_parked{false};
+  std::vector<runtime::Padded<SlotCtrl>> ctrl(max_threads);
+  std::vector<runtime::Padded<Counters>> counts(
+      static_cast<size_t>(max_threads) * nph);
+
+  auto worker_body = [&](int slot, uint64_t generation) {
+    // Legacy seed for generation 0 keeps one-phase uniform runs
+    // bit-comparable with the pre-engine driver; churned replacements
+    // perturb it so a recycled slot doesn't replay its predecessor.
+    runtime::Xoshiro256 rng(0x9E3779B9ull * (slot + 1) + 12345 +
+                            generation * 0xD1342543DE82EF95ull);
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    SlotCtrl& my_ctrl = *ctrl[slot];
+    for (;;) {
+      const int p = phase_idx.load(std::memory_order_acquire);
+      if (p >= nph) break;
+      if (my_ctrl.exit_now.load(std::memory_order_relaxed)) break;
+      if (my_ctrl.park.load(std::memory_order_relaxed)) {
+        victim_parked.store(true, std::memory_order_release);
+        set->park_in_operation(park_release);
+        victim_parked.store(false, std::memory_order_release);
+        my_ctrl.park.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      const PhaseSpec& ph = spec.phases[p];
+      if (slot >= ph.threads) {
+        // Inactive this phase: stay registered, run nothing.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      Counters& my = *counts[static_cast<size_t>(slot) * nph + p];
+      if (ph.split_readers_writers && slot < ph.threads / 2) {
+        // Dedicated reader (Figure 4): full-range contains only.
+        (void)set->contains(rng.next_below(spec.key_range));
+        ++my.reads;
+      } else if (ph.split_readers_writers) {
+        // Dedicated updater near the head of the structure.
+        const uint64_t k = rng.next_below(ph.writer_key_range);
+        if (rng.percent(50)) {
+          (void)set->insert(k);
+        } else {
+          (void)set->erase(k);
+        }
+        ++my.updates;
+      } else {
+        const uint64_t k = pickers[p].next(
+            rng, hot_window.load(std::memory_order_relaxed));
+        const uint64_t dice = rng.next_below(100);
+        if (dice < ph.pct_insert) {
+          (void)set->insert(k);
+          ++my.updates;
+        } else if (dice < ph.pct_insert + ph.pct_erase) {
+          (void)set->erase(k);
+          ++my.updates;
+        } else {
+          (void)set->contains(k);
+          ++my.reads;
+        }
+      }
+    }
+    set->detach_thread();
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(max_threads);
+  std::vector<uint64_t> generation(max_threads, 0);
+  for (int s = 0; s < max_threads; ++s) workers.emplace_back(worker_body, s, 0);
+
+  // ---- background memory-timeline sampler ---------------------------------
+  std::atomic<bool> sampler_stop{false};
+  std::vector<MemSample> samples;
+  std::thread sampler;
+  const auto t0 = Clock::now();
+  if (spec.mem_sample_every_ms > 0) {
+    sampler = std::thread([&] {
+      const auto cadence =
+          std::chrono::milliseconds(spec.mem_sample_every_ms);
+      auto next = Clock::now();
+      while (!sampler_stop.load(std::memory_order_acquire)) {
+        MemSample m;
+        m.t_ms = ms_since(t0);
+        m.phase = std::min(phase_idx.load(std::memory_order_acquire), nph - 1);
+        m.vm_rss_kib = runtime::vm_rss_kib();
+        m.vm_hwm_kib = runtime::vm_hwm_kib();
+        const auto s = set->smr_stats();  // racy-but-benign SWMR reads
+        m.retired = s.retired;
+        m.freed = s.freed;
+        const auto ps = runtime::PoolAllocator::instance().stats();
+        m.pool_allocated = ps.allocated_blocks;
+        m.pool_freed = ps.freed_blocks;
+        m.victim_parked = victim_parked.load(std::memory_order_acquire);
+        samples.push_back(m);
+        next += cadence;
+        std::this_thread::sleep_until(next);
+      }
+    });
+  }
+
+  // ---- coordinator: phase schedule + churn + stall ------------------------
+  go.store(true, std::memory_order_release);
+
+  const bool churn_on = spec.churn.enabled;
+  auto next_churn = t0 + std::chrono::milliseconds(spec.churn.interval_ms);
+  int churn_rr = 0;  // round-robin slot cursor
+
+  const bool stall_on = spec.stall.enabled;
+  enum class StallStage { kPending, kParked, kDone };
+  StallStage stall_stage = stall_on ? StallStage::kPending : StallStage::kDone;
+  const auto park_at = t0 + std::chrono::milliseconds(spec.stall.park_after_ms);
+  const auto resume_at =
+      park_at + std::chrono::milliseconds(spec.stall.park_for_ms);
+
+  std::vector<smr::StatsSnapshot> boundary(nph + 1);
+  std::vector<Clock::time_point> boundary_t(nph + 1);
+  boundary[0] = set->smr_stats();
+  boundary_t[0] = t0;
+
+  auto phase_end = t0;
+  for (int p = 0; p < nph; ++p) {
+    const PhaseSpec& ph = spec.phases[p];
+    phase_end += std::chrono::milliseconds(ph.duration_ms);
+    auto next_hot_move =
+        Clock::now() + std::chrono::milliseconds(ph.keys.hot_move_every_ms);
+    for (;;) {
+      auto now = Clock::now();
+      if (now >= phase_end) break;
+      auto wake = phase_end;
+      if (churn_on && next_churn < wake) wake = next_churn;
+      if (stall_stage == StallStage::kPending && park_at < wake) wake = park_at;
+      if (stall_stage == StallStage::kParked && resume_at < wake) {
+        wake = resume_at;
+      }
+      if (ph.keys.hot_move_every_ms > 0 && next_hot_move < wake) {
+        wake = next_hot_move;
+      }
+      std::this_thread::sleep_until(wake);
+      now = Clock::now();
+
+      if (stall_stage == StallStage::kPending && now >= park_at) {
+        res.baseline_unreclaimed = unreclaimed_now(*set);
+        res.stall_parked_at_ms = ms_since(t0);
+        ctrl[spec.stall.victim]->park.store(true, std::memory_order_release);
+        stall_stage = StallStage::kParked;
+      }
+      if (stall_stage == StallStage::kParked && now >= resume_at) {
+        // Probe the peak just before releasing: the sampler may be off
+        // (or slower than the stall window).
+        res.stall_peak_unreclaimed = unreclaimed_now(*set);
+        res.stall_resumed_at_ms = ms_since(t0);
+        park_release.store(true, std::memory_order_release);
+        stall_stage = StallStage::kDone;
+      }
+      if (churn_on && now >= next_churn) {
+        // Retire one worker (skipping a parked/parking victim: it cannot
+        // observe exit flags while asleep) and respawn its slot; the old
+        // thread's exit deregisters its tid, the replacement re-registers
+        // and typically recycles the same slot with a bumped epoch.
+        int slot = -1;
+        for (int probe = 0; probe < max_threads; ++probe) {
+          const int cand = (churn_rr + probe) % max_threads;
+          if (stall_on && cand == spec.stall.victim) continue;
+          slot = cand;
+          break;
+        }
+        if (slot >= 0) {
+          churn_rr = (slot + 1) % max_threads;
+          ctrl[slot]->exit_now.store(true, std::memory_order_release);
+          workers[slot].join();  // TLS dtor has deregistered its tid here
+          ctrl[slot]->exit_now.store(false, std::memory_order_relaxed);
+          workers[slot] = std::thread(worker_body, slot, ++generation[slot]);
+          ++res.churn_cycles;
+        }
+        next_churn += std::chrono::milliseconds(spec.churn.interval_ms);
+      }
+      if (ph.keys.hot_move_every_ms > 0 && now >= next_hot_move) {
+        hot_window.fetch_add(1, std::memory_order_relaxed);
+        next_hot_move +=
+            std::chrono::milliseconds(ph.keys.hot_move_every_ms);
+      }
+    }
+    boundary[p + 1] = set->smr_stats();  // racy-but-benign: reporting only
+    boundary_t[p + 1] = Clock::now();
+    phase_idx.store(p + 1, std::memory_order_release);
+  }
+
+  // A stall window reaching past the end of the schedule must not wedge
+  // the join: release the victim unconditionally.
+  if (stall_stage == StallStage::kParked) {
+    res.stall_peak_unreclaimed = unreclaimed_now(*set);
+    res.stall_resumed_at_ms = ms_since(t0);
+  }
+  park_release.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  const auto t_end = Clock::now();
+
+  sampler_stop.store(true, std::memory_order_release);
+  if (sampler.joinable()) sampler.join();
+
+  // ---- aggregation --------------------------------------------------------
+  res.phases.resize(nph);
+  for (int p = 0; p < nph; ++p) {
+    PhaseResult& pr = res.phases[p];
+    const PhaseSpec& ph = spec.phases[p];
+    pr.name = ph.name;
+    pr.threads = ph.threads;
+    pr.seconds =
+        std::chrono::duration<double>(boundary_t[p + 1] - boundary_t[p])
+            .count();
+    for (int s = 0; s < max_threads; ++s) {
+      const Counters& c = *counts[static_cast<size_t>(s) * nph + p];
+      pr.reads += c.reads;
+      pr.updates += c.updates;
+    }
+    pr.ops = pr.reads + pr.updates;
+    if (pr.seconds > 0) {
+      pr.mops = static_cast<double>(pr.ops) / pr.seconds / 1e6;
+      pr.read_mops = static_cast<double>(pr.reads) / pr.seconds / 1e6;
+    }
+    pr.smr_delta = snapshot_delta(boundary[p], boundary[p + 1]);
+    pr.unreclaimed_end = boundary[p + 1].unreclaimed();
+    res.reads_total += pr.reads;
+    res.updates_total += pr.updates;
+  }
+  res.ops_total = res.reads_total + res.updates_total;
+  res.seconds = std::chrono::duration<double>(t_end - t0).count();
+  if (res.seconds > 0) {
+    res.mops = static_cast<double>(res.ops_total) / res.seconds / 1e6;
+    res.read_mops = static_cast<double>(res.reads_total) / res.seconds / 1e6;
+  }
+  res.smr = set->smr_stats();
+  res.vm_hwm_kib = runtime::vm_hwm_kib();
+  res.final_size = set->size_slow();
+  res.final_unreclaimed = res.smr.unreclaimed();
+  res.samples = std::move(samples);
+  for (const auto& m : res.samples) {
+    if (m.victim_parked && m.unreclaimed() > res.stall_peak_unreclaimed) {
+      res.stall_peak_unreclaimed = m.unreclaimed();
+    }
+  }
+  return res;
+}
+
+}  // namespace pop::workload

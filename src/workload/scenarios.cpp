@@ -1,0 +1,141 @@
+#include "workload/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pop::workload {
+
+namespace {
+
+uint64_t scaled_ms(uint64_t ms, double scale) {
+  const double v = std::ceil(static_cast<double>(ms) * scale);
+  return v < 1.0 ? 1 : static_cast<uint64_t>(v);
+}
+
+// List traversals are O(size): give them a smaller default universe than
+// the log/const-depth structures so cells finish in comparable time.
+uint64_t default_range(const std::string& ds) {
+  return (ds == "HML" || ds == "LL") ? 2048 : 16384;
+}
+
+PhaseSpec phase(const char* name, uint64_t dur_ms, uint32_t ins, uint32_t ers,
+                double scale) {
+  PhaseSpec p;
+  p.name = name;
+  p.duration_ms = scaled_ms(dur_ms, scale);
+  p.pct_insert = ins;
+  p.pct_erase = ers;
+  return p;
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = {
+      "uniform-mixed", "hotspot-churn",        "moving-hotspot",
+      "stall-recovery", "oversubscribed-burst",
+  };
+  return names;
+}
+
+std::string scenario_description(const std::string& name) {
+  if (name == "uniform-mixed") {
+    return "control cell: one phase, uniform keys, 25i/25d/50c, static pool";
+  }
+  if (name == "hotspot-churn") {
+    return "90% of ops on a 10% hot set while workers exit and fresh "
+           "threads re-register (registry tid recycling under ping waves)";
+  }
+  if (name == "moving-hotspot") {
+    return "write-burst then read-mostly phases with the hot window "
+           "sliding across the key space mid-phase";
+  }
+  if (name == "stall-recovery") {
+    return "a victim worker parks mid-operation holding its reservation; "
+           "the timeline shows unreclaimed memory grow and recover";
+  }
+  if (name == "oversubscribed-burst") {
+    return "4x thread burst (past the core count) -> read-mostly -> "
+           "erase-heavy drain, exercising preempted-thread handshakes";
+  }
+  return "";
+}
+
+std::optional<ScenarioSpec> make_scenario(const std::string& name,
+                                          const ScenarioBuild& b) {
+  ScenarioSpec s;
+  s.name = name;
+  s.ds = b.ds;
+  s.smr = b.smr;
+  s.threads = std::max(1, b.threads);
+  s.key_range = b.key_range ? b.key_range : default_range(b.ds);
+  const double sc = b.time_scale > 0 ? b.time_scale : 1.0;
+
+  if (name == "uniform-mixed") {
+    s.phases.push_back(phase("mixed", 200, 25, 25, sc));
+    return s;
+  }
+
+  if (name == "hotspot-churn") {
+    PhaseSpec p = phase("hot-churn", 300, 40, 40, sc);
+    p.keys.kind = KeyDist::kHotspot;
+    p.keys.hot_fraction = 0.10;
+    p.keys.hot_op_pct = 90;
+    s.phases.push_back(p);
+    s.churn.enabled = true;
+    s.churn.interval_ms = scaled_ms(30, sc);
+    s.mem_sample_every_ms = scaled_ms(10, sc);
+    return s;
+  }
+
+  if (name == "moving-hotspot") {
+    PhaseSpec burst = phase("write-burst", 200, 45, 45, sc);
+    burst.keys.kind = KeyDist::kHotspot;
+    burst.keys.hot_fraction = 0.05;
+    burst.keys.hot_op_pct = 90;
+    burst.keys.hot_move_every_ms = scaled_ms(25, sc);
+    PhaseSpec read = phase("read-mostly", 200, 5, 5, sc);
+    read.keys = burst.keys;
+    s.phases.push_back(burst);
+    s.phases.push_back(read);
+    s.mem_sample_every_ms = scaled_ms(10, sc);
+    return s;
+  }
+
+  if (name == "stall-recovery") {
+    // Equal mixed phases; the victim parks for all of phase "stalled".
+    // Zipfian keys keep old (pre-stall-born) nodes churning, which is
+    // what an era-publishing stalled thread pins.
+    const uint64_t warm = 150, stall = 250, recover = 250;
+    for (auto [nm, dur] : {std::pair{"warmup", warm},
+                           std::pair{"stalled", stall},
+                           std::pair{"recovery", recover}}) {
+      PhaseSpec p = phase(nm, dur, 30, 30, sc);
+      p.keys.kind = KeyDist::kZipfian;
+      p.keys.zipf_theta = 0.8;
+      s.phases.push_back(p);
+    }
+    s.stall.enabled = true;
+    s.stall.victim = 0;
+    s.stall.park_after_ms = scaled_ms(warm, sc);
+    s.stall.park_for_ms = scaled_ms(stall, sc);
+    s.mem_sample_every_ms = std::max<uint64_t>(1, scaled_ms(8, sc));
+    return s;
+  }
+
+  if (name == "oversubscribed-burst") {
+    PhaseSpec burst = phase("write-burst", 200, 50, 50, sc);
+    burst.threads = s.threads * 4;
+    PhaseSpec read = phase("read-mostly", 150, 5, 5, sc);
+    PhaseSpec drain = phase("drain", 150, 0, 60, sc);
+    s.phases.push_back(burst);
+    s.phases.push_back(read);
+    s.phases.push_back(drain);
+    s.mem_sample_every_ms = scaled_ms(10, sc);
+    return s;
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace pop::workload

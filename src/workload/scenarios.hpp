@@ -1,0 +1,39 @@
+// Named scenario registry: the matrix bench_scenarios sweeps. Each name
+// maps (ds, smr, threads, time scale) onto a full ScenarioSpec — the
+// "scenario cookbook" in the README documents what each one stresses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.hpp"
+
+namespace pop::workload {
+
+// Knobs a caller varies per matrix cell; everything else (phases, key
+// distributions, churn/stall schedules) is the scenario's identity.
+struct ScenarioBuild {
+  std::string ds = "HML";
+  std::string smr = "EpochPOP";
+  int threads = 4;
+  // Multiplies every phase duration (and derived intervals). CI's
+  // scenario-smoke job (bench_scenarios --short) runs at 0.25 with a
+  // shrunken key range.
+  double time_scale = 1.0;
+  // 0 = the scenario's own default range; smoke mode passes a small one.
+  uint64_t key_range = 0;
+};
+
+// Registry order is presentation order.
+const std::vector<std::string>& scenario_names();
+
+// Builds `name` for the given cell; nullopt for unknown names. The
+// returned spec is already valid (normalize() would make no changes).
+std::optional<ScenarioSpec> make_scenario(const std::string& name,
+                                          const ScenarioBuild& build);
+
+// One-line description per scenario for --list and the cookbook.
+std::string scenario_description(const std::string& name);
+
+}  // namespace pop::workload

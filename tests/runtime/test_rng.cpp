@@ -62,5 +62,116 @@ TEST(Rng, PercentRoughlyCalibrated) {
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.30, 0.02);
 }
 
+TEST(Rng, NextUnitInHalfOpenInterval) {
+  Xoshiro256 r(71);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.next_unit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Zipf, CdfIsMonotoneAndNormalized) {
+  ZipfTable z(1000, 0.99);
+  EXPECT_EQ(z.n(), 1000u);
+  double prev = 0;
+  double mass = 0;
+  for (uint64_t i = 0; i < z.n(); ++i) {
+    const double p = z.pmf(i);
+    EXPECT_GT(p, 0.0);
+    mass += p;
+    EXPECT_GE(z.pmf(0), p);  // rank 0 is the mode
+    prev = p;
+  }
+  (void)prev;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfTable z(64, 0.0);
+  for (uint64_t i = 0; i < z.n(); ++i) EXPECT_NEAR(z.pmf(i), 1.0 / 64, 1e-12);
+}
+
+TEST(Zipf, SamplesStayInRange) {
+  ZipfTable z(37, 1.2);
+  Xoshiro256 r(5);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(z.sample(r), 37u);
+}
+
+// The satellite's statistical acceptance check: empirical frequencies by
+// rank must match the analytic Zipf mass within tolerance.
+TEST(Zipf, FrequencyRanksMatchExpectedMass) {
+  const uint64_t n = 1024;
+  const double theta = 0.99;
+  ZipfTable z(n, theta);
+  Xoshiro256 r(12345);
+  std::vector<uint64_t> counts(n, 0);
+  const int draws = 400000;
+  for (int i = 0; i < draws; ++i) ++counts[z.sample(r)];
+
+  // Head ranks individually: within 10% relative error.
+  for (uint64_t rank : {0ull, 1ull, 2ull, 9ull}) {
+    const double expect = z.pmf(rank);
+    const double got = static_cast<double>(counts[rank]) / draws;
+    EXPECT_NEAR(got, expect, expect * 0.10) << "rank " << rank;
+  }
+  // Aggregate head mass (top 10 / top 100) within one percentage point.
+  auto head_mass = [&](uint64_t k) {
+    double e = 0, g = 0;
+    for (uint64_t i = 0; i < k; ++i) {
+      e += z.pmf(i);
+      g += static_cast<double>(counts[i]) / draws;
+    }
+    EXPECT_NEAR(g, e, 0.01) << "top-" << k;
+  };
+  head_mass(10);
+  head_mass(100);
+  // Rank ordering is respected where the mass gaps are distinguishable.
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[63]);
+  EXPECT_GT(counts[63], counts[1023]);
+}
+
+TEST(Hotspot, HotWindowReceivesConfiguredMass) {
+  const uint64_t range = 10000;
+  HotspotDist h(range, 0.05, 90);
+  EXPECT_EQ(h.hot_size(), 500u);
+  Xoshiro256 r(99);
+  const int draws = 100000;
+  int hot = 0;
+  for (int i = 0; i < draws; ++i) hot += h.sample(r) < h.hot_size();
+  // 90% targeted + 5% of the uniform remainder lands in the window too.
+  EXPECT_NEAR(static_cast<double>(hot) / draws, 0.90 + 0.10 * 0.05, 0.01);
+}
+
+TEST(Hotspot, MovingWindowWrapsAndStaysInRange) {
+  const uint64_t range = 1000;
+  HotspotDist h(range, 0.10, 100);  // every draw is in the window
+  Xoshiro256 r(3);
+  for (uint64_t start : {0ull, 950ull, 2500ull}) {
+    for (int i = 0; i < 2000; ++i) {
+      const uint64_t k = h.sample(r, start);
+      ASSERT_LT(k, range);
+      // In-window: distance from start (mod range) under hot_size.
+      ASSERT_LT((k + range - start % range) % range, h.hot_size());
+    }
+  }
+}
+
+TEST(Hotspot, DegenerateParamsClampSafely) {
+  HotspotDist tiny(0, 0.0, 200);
+  Xoshiro256 r(8);
+  EXPECT_EQ(tiny.range(), 1u);
+  EXPECT_EQ(tiny.hot_size(), 1u);
+  EXPECT_EQ(tiny.hot_pct(), 100u);
+  EXPECT_EQ(tiny.sample(r), 0u);
+  HotspotDist full(16, 2.0, 50);
+  EXPECT_EQ(full.hot_size(), 16u);
+}
+
 }  // namespace
 }  // namespace pop::runtime

@@ -1,0 +1,101 @@
+// The named scenario registry: every name builds a valid spec for every
+// (ds, smr) pairing the matrix sweeps, descriptions exist, and a
+// representative cell of each scenario actually executes in smoke mode.
+#include <gtest/gtest.h>
+
+#include "ds/iset.hpp"
+#include "workload/scenario_engine.hpp"
+#include "workload/scenarios.hpp"
+
+namespace pop::workload {
+namespace {
+
+TEST(Scenarios, RegistryListsAndDescribesEveryScenario) {
+  const auto& names = scenario_names();
+  ASSERT_GE(names.size(), 5u);
+  for (const auto& n : names) {
+    EXPECT_FALSE(scenario_description(n).empty()) << n;
+    ASSERT_TRUE(make_scenario(n, {}).has_value()) << n;
+  }
+}
+
+TEST(Scenarios, UnknownNameIsRejected) {
+  EXPECT_FALSE(make_scenario("no-such-scenario", {}).has_value());
+  EXPECT_TRUE(scenario_description("no-such-scenario").empty());
+}
+
+TEST(Scenarios, BuiltSpecsAreAlreadyNormalized) {
+  // The registry's contract: normalize() would change nothing, for any
+  // cell of the full (ds, smr) matrix at several thread counts.
+  for (const auto& name : scenario_names()) {
+    for (const auto& ds : ds::all_ds_names()) {
+      for (int threads : {1, 2, 8}) {
+        ScenarioBuild b;
+        b.ds = ds;
+        b.smr = "EpochPOP";
+        b.threads = threads;
+        auto spec = make_scenario(name, b);
+        ASSERT_TRUE(spec.has_value());
+        const auto warnings = normalize(*spec);
+        EXPECT_TRUE(warnings.empty())
+            << name << "/" << ds << "/t" << threads << ": " << warnings[0];
+        EXPECT_FALSE(spec->phases.empty());
+      }
+    }
+  }
+}
+
+TEST(Scenarios, BuildKnobsPropagate) {
+  ScenarioBuild b;
+  b.ds = "HMHT";
+  b.smr = "NBR";
+  b.threads = 6;
+  b.key_range = 1024;
+  b.time_scale = 0.5;
+  auto full = make_scenario("stall-recovery", ScenarioBuild{});
+  auto spec = make_scenario("stall-recovery", b);
+  ASSERT_TRUE(spec.has_value() && full.has_value());
+  EXPECT_EQ(spec->ds, "HMHT");
+  EXPECT_EQ(spec->smr, "NBR");
+  EXPECT_EQ(spec->threads, 6);
+  EXPECT_EQ(spec->key_range, 1024u);
+  EXPECT_TRUE(spec->stall.enabled);
+  EXPECT_GT(spec->mem_sample_every_ms, 0u);
+  // Half time scale shrinks the schedule.
+  EXPECT_LT(spec->phases[0].duration_ms, full->phases[0].duration_ms);
+}
+
+TEST(Scenarios, HotspotChurnSmokeRunCycles) {
+  ScenarioBuild b;
+  b.ds = "HML";
+  b.smr = "HazardPtrPOP";
+  b.threads = 2;
+  b.time_scale = 0.2;
+  b.key_range = 256;
+  auto spec = make_scenario("hotspot-churn", b);
+  ASSERT_TRUE(spec.has_value());
+  spec->smr_cfg.retire_threshold = 32;
+  const auto r = run_scenario(*spec);
+  EXPECT_GT(r.ops_total, 0u);
+  EXPECT_GT(r.churn_cycles, 0u);
+  EXPECT_FALSE(r.samples.empty());
+}
+
+TEST(Scenarios, OversubscribedBurstSmokeRunsAllPhases) {
+  ScenarioBuild b;
+  b.ds = "HMHT";
+  b.smr = "EpochPOP";
+  b.threads = 2;
+  b.time_scale = 0.2;
+  b.key_range = 512;
+  auto spec = make_scenario("oversubscribed-burst", b);
+  ASSERT_TRUE(spec.has_value());
+  spec->smr_cfg.retire_threshold = 32;
+  const auto r = run_scenario(*spec);
+  ASSERT_EQ(r.phases.size(), 3u);
+  EXPECT_EQ(r.phases[0].threads, 8);  // 4x burst
+  for (const auto& p : r.phases) EXPECT_GT(p.ops, 0u) << p.name;
+}
+
+}  // namespace
+}  // namespace pop::workload
