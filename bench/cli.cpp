@@ -12,6 +12,7 @@ void usage(const char* prog, int exit_code) {
   std::fprintf(
       stderr,
       "usage: %s [--threads N,N,..] [--smr NAME,..] [--ds NAME,..]\n"
+      "          [--shards N,N,..] [--shard-hash splitmix|modulo]\n"
       "          [--duration-ms N] [--json PATH] [--scenario NAME|all]\n"
       "          [--short] [--list] [--help]\n"
       "Value flags seed the matching POPSMR_BENCH_* env var; an already\n"
@@ -60,6 +61,12 @@ CliOptions apply_bench_cli(int argc, char** argv) {
       seed_env("POPSMR_BENCH_SMRS", flag_value(argc, argv, &i, flag, prog));
     } else if (matches(arg, "--ds")) {
       seed_env("POPSMR_BENCH_DS", flag_value(argc, argv, &i, "--ds", prog));
+    } else if (matches(arg, "--shards")) {
+      seed_env("POPSMR_BENCH_SHARDS",
+               flag_value(argc, argv, &i, "--shards", prog));
+    } else if (matches(arg, "--shard-hash")) {
+      seed_env("POPSMR_SHARD_HASH",
+               flag_value(argc, argv, &i, "--shard-hash", prog));
     } else if (matches(arg, "--duration-ms")) {
       seed_env("POPSMR_BENCH_DURATION_MS",
                flag_value(argc, argv, &i, "--duration-ms", prog));

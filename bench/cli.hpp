@@ -7,6 +7,8 @@
 //   --threads 1,2,4        -> POPSMR_BENCH_THREADS
 //   --smr EBR,EpochPOP     -> POPSMR_BENCH_SMRS
 //   --ds HML,HMHT          -> POPSMR_BENCH_DS      (bench_scenarios)
+//   --shards 1,2,4,8       -> POPSMR_BENCH_SHARDS  (bench_sharded)
+//   --shard-hash modulo    -> POPSMR_SHARD_HASH    (bench_sharded)
 //   --duration-ms 200      -> POPSMR_BENCH_DURATION_MS
 //   --json out.jsonl       -> POPSMR_BENCH_JSON
 //   --scenario NAME|all    scenario selection       (bench_scenarios)

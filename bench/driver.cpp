@@ -129,6 +129,17 @@ std::vector<std::string> bench_ds_list(const std::string& fallback) {
   return out;
 }
 
+std::vector<int> bench_shard_list(const std::string& fallback) {
+  const std::string raw = runtime::env_str("POPSMR_BENCH_SHARDS", fallback);
+  std::vector<int> out;
+  for (const auto& tok : split_csv(raw)) {
+    const int v = std::atoi(tok.c_str());
+    if (v > 0) out.push_back(v);
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
 uint64_t bench_duration_ms(uint64_t fallback) {
   return runtime::env_u64("POPSMR_BENCH_DURATION_MS", fallback);
 }

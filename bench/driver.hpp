@@ -80,6 +80,8 @@ void print_row(const WorkloadConfig& cfg, const WorkloadResult& r);
 std::vector<int> bench_thread_list(const std::string& fallback);
 std::vector<std::string> bench_smr_list();
 std::vector<std::string> bench_ds_list(const std::string& fallback);
+// POPSMR_BENCH_SHARDS comma list (bench_sharded's sweep axis).
+std::vector<int> bench_shard_list(const std::string& fallback);
 uint64_t bench_duration_ms(uint64_t fallback);
 
 }  // namespace pop::bench

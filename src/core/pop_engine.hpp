@@ -57,8 +57,12 @@ class PopEngine final : public runtime::SignalClient {
       local(tid, s).store(0, std::memory_order_relaxed);
       shared_.at(tid, s).store(0, std::memory_order_release);
     }
-    pt_[tid]->registry_epoch =
-        runtime::ThreadRegistry::instance().slot_epoch(tid);
+    // Relaxed atomic: a reclaimer that raced an attach on a recycled tid
+    // may read either epoch — it only uses the value for staleness
+    // detection against the registry, where both answers are safe.
+    pt_[tid]->registry_epoch.store(
+        runtime::ThreadRegistry::instance().slot_epoch(tid),
+        std::memory_order_relaxed);
     pt_[tid]->attached.store(true, std::memory_order_seq_cst);
     runtime::SignalBus::instance().attach(this);
   }
@@ -145,22 +149,31 @@ class PopEngine final : public runtime::SignalClient {
     const int hi = reg.max_tid();
     for (int t = 0; t <= hi; ++t) {
       if (t == self_tid || !attached(t)) continue;
-      waited[nwait++] = {t,
-                         pt_[t]->publish_counter.load(std::memory_order_acquire),
-                         pt_[t]->registry_epoch};
+      waited[nwait++] = {
+          t, pt_[t]->publish_counter.load(std::memory_order_acquire),
+          pt_[t]->registry_epoch.load(std::memory_order_relaxed)};
     }
 
     // pingAllToPublish(), coalesced: lead a wave only if none is open.
     // Every publish a wave triggers lands after its leader's broadcast,
     // and our snapshot above predates anything we go on to wait for — so
     // joining an open wave is always safe, merely possibly insufficient
-    // (covered by the escalation below).
+    // (covered by the escalation below). The round is PROCESS-WIDE, not
+    // per-engine: a ping publishes the reservations of every co-resident
+    // domain on the receiving thread (the SignalBus handler notifies all
+    // clients), so a reclaimer in one shard's domain can ride a wave led
+    // by another's. A joined wave whose leader pinged a different
+    // membership may miss some of our threads — the targeted re-ping
+    // below covers exactly that gap, so cross-domain coalescing trades a
+    // short patience interval for ~Nx fewer signal broadcasts when N
+    // domains reclaim concurrently.
+    auto& round = global_round();
     int sent = 0;
     bool leading = false;
-    uint64_t r = round_.load(std::memory_order_acquire);
+    uint64_t r = round.load(std::memory_order_acquire);
     while ((r & 1) == 0) {
-      if (round_.compare_exchange_weak(r, r + 1,
-                                       std::memory_order_acq_rel)) {
+      if (round.compare_exchange_weak(r, r + 1,
+                                      std::memory_order_acq_rel)) {
         // We lead: signal exactly the threads attached to this domain —
         // the set whose publish counters the wait below certifies.
         sent = reg.ping_others(
@@ -219,7 +232,10 @@ class PopEngine final : public runtime::SignalClient {
       waiter.wait();  // yields under oversubscription (§4.1.2)
     }
     if (leading) {
-      round_.fetch_add(1, std::memory_order_release);  // close the wave
+      round.fetch_add(1, std::memory_order_release);  // close the wave
+      waves_led_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      waves_joined_.fetch_add(1, std::memory_order_relaxed);
     }
     // Refresh our own counter: a joiner that snapshotted us after our
     // entry publish would otherwise have to escalate to unblock.
@@ -243,10 +259,21 @@ class PopEngine final : public runtime::SignalClient {
 
   int num_slots() const { return num_slots_; }
 
-  // Completed ping waves * 2 (the round parity protocol above); exposed
-  // for tests asserting that concurrent reclaimers share one wave.
-  uint64_t handshake_rounds() const {
-    return round_.load(std::memory_order_acquire) / 2;
+  // Completed ping waves (the round parity protocol above) — PROCESS-WIDE
+  // across every PopEngine, since the round is shared; exposed for tests
+  // asserting that concurrent reclaimers (same domain or co-resident
+  // domains) share one wave. Compare deltas, not absolutes.
+  static uint64_t handshake_rounds() {
+    return global_round().load(std::memory_order_acquire) / 2;
+  }
+
+  // This engine's handshake outcomes: waves it broadcast vs waves it rode
+  // (another reclaimer's — possibly another domain's — open wave).
+  uint64_t waves_led() const {
+    return waves_led_.load(std::memory_order_relaxed);
+  }
+  uint64_t waves_joined() const {
+    return waves_joined_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -269,14 +296,24 @@ class PopEngine final : public runtime::SignalClient {
     std::atomic<uint64_t> publish_counter{0};
     std::atomic<uint64_t> pings{0};
     std::atomic<bool> attached{false};
-    uint64_t registry_epoch = 0;
+    // Atomic because a handshake may read it while a new thread attaches
+    // on a recycled tid (change-detection only, so relaxed suffices).
+    std::atomic<uint64_t> registry_epoch{0};
   };
+
+  // Handshake round, shared by every engine in the process: even = idle,
+  // odd = a leader (in some domain) is delivering pings. One cache line
+  // touched only on the reclaim path, never by readers.
+  static std::atomic<uint64_t>& global_round() {
+    static runtime::Padded<std::atomic<uint64_t>> r;
+    return *r;
+  }
 
   int num_slots_;
   runtime::Padded<PerThread> pt_[runtime::kMaxThreads];
   smr::SlotTable shared_;
-  // Handshake round: even = idle, odd = a leader is delivering pings.
-  std::atomic<uint64_t> round_{0};
+  std::atomic<uint64_t> waves_led_{0};
+  std::atomic<uint64_t> waves_joined_{0};
 };
 
 }  // namespace pop::core

@@ -1,0 +1,47 @@
+// ServiceStats: the per-shard statistics snapshot the sharded service
+// layer exposes. Each shard is an independent ISet with its own SMR
+// domain; the snapshot rolls their scheme counters up into one total and
+// keeps the per-shard breakdown (routed operations, unreclaimed nodes)
+// so load skew — a hot shard under Zipfian keys — is observable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smr/smr_config.hpp"
+
+namespace pop::service {
+
+struct ShardStats {
+  int shard = 0;
+  // Operations routed to this shard since construction (insert + erase +
+  // contains), counted at the routing layer.
+  uint64_t ops = 0;
+  smr::StatsSnapshot smr;  // the shard's own domain counters
+};
+
+struct ServiceStats {
+  std::vector<ShardStats> shards;
+  smr::StatsSnapshot smr;  // roll-up across all shards
+  uint64_t ops_total = 0;
+  // Process-wide pool occupancy at snapshot time (the pool is shared by
+  // every shard's domain, so blocks are not separable per shard).
+  uint64_t pool_live_blocks = 0;
+
+  uint64_t unreclaimed() const { return smr.unreclaimed(); }
+
+  // Max/min routed-op counts over shards: the skew a hot shard produces.
+  uint64_t ops_max_shard() const {
+    uint64_t m = 0;
+    for (const auto& s : shards) m = s.ops > m ? s.ops : m;
+    return m;
+  }
+  uint64_t ops_min_shard() const {
+    if (shards.empty()) return 0;
+    uint64_t m = UINT64_MAX;
+    for (const auto& s : shards) m = s.ops < m ? s.ops : m;
+    return m;
+  }
+};
+
+}  // namespace pop::service

@@ -1,0 +1,134 @@
+// ShardedMap: a sharded key-value service layer over the ISet matrix.
+//
+// The key space is partitioned over N independent ISet instances, each
+// owning its *own* SMR domain — the composition publish-on-ping makes
+// cheap: reservations stay private per thread regardless of how many
+// domains it touches, and one ping publishes the reservations of every
+// co-resident domain on the receiving thread (the SignalBus notifies all
+// clients), so concurrent reclaimers across shards coalesce onto shared
+// ping waves (see PopEngine's process-wide handshake round).
+//
+// Sharding splits domain-level contention — retire lists, wave
+// membership, epoch advances — N ways, which is what lets throughput
+// rise with shard count once a single domain saturates. ShardedMap is
+// itself an ISet, so the scenario engine, benchmarks, and tests can run
+// it anywhere a monolithic set runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ds/iset.hpp"
+#include "runtime/thread_registry.hpp"
+#include "service/service_stats.hpp"
+
+namespace pop::service {
+
+// Shard-selection hash. kSplitMix64 scatters adjacent keys across shards
+// (uniform load, the service default); kModulo keeps key % N locality so
+// contiguous ranges map to predictable shards (deterministic tests,
+// range-partitioned deployments).
+enum class ShardHash { kSplitMix64, kModulo };
+
+struct ShardedMapConfig {
+  int shards = 4;
+  ShardHash hash = ShardHash::kSplitMix64;
+  // Per-shard structures size themselves from capacity / shards (floored
+  // at 64) so a sharded map's total footprint matches the monolithic one.
+  ds::SetConfig set;
+};
+
+class ShardedMap final : public ds::ISet {
+ public:
+  // Builds `shards` independent (ds, smr) sets; nullptr on unknown names
+  // (mirrors ds::make_set).
+  static std::unique_ptr<ShardedMap> create(const std::string& ds,
+                                            const std::string& smr,
+                                            const ShardedMapConfig& cfg);
+
+  // ---- ISet: operations route by shard_of(key) ---------------------------
+  bool insert(uint64_t key) override {
+    const int s = shard_of(key);
+    count_op(s);
+    return shards_[s]->insert(key);
+  }
+  bool erase(uint64_t key) override {
+    const int s = shard_of(key);
+    count_op(s);
+    return shards_[s]->erase(key);
+  }
+  bool contains(uint64_t key) override {
+    const int s = shard_of(key);
+    count_op(s);
+    return shards_[s]->contains(key);
+  }
+
+  // Detaches the calling thread from *every* shard's domain. Detaching
+  // from a domain the thread never attached to is a no-op by scheme
+  // contract, so threads that only ever touched a subset are fine.
+  void detach_thread() override {
+    for (auto& s : shards_) s->detach_thread();
+  }
+
+  // Parks inside shard 0's domain: a stalled reader pins one shard's
+  // reservations, the service-shaped version of the paper's failure mode
+  // (the other shards keep reclaiming around it).
+  void park_in_operation(const std::atomic<bool>& release) override {
+    shards_[0]->park_in_operation(release);
+  }
+
+  smr::StatsSnapshot smr_stats() const override;
+  uint64_t size_slow() const override;
+  std::string ds_name() const override { return shards_[0]->ds_name(); }
+  std::string smr_name() const override { return shards_[0]->smr_name(); }
+
+  // ---- service surface ---------------------------------------------------
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int shard_of(uint64_t key) const;
+  ds::ISet& shard(int i) { return *shards_[i]; }
+  const ds::ISet& shard(int i) const { return *shards_[i]; }
+  ShardHash hash() const { return hash_; }
+
+  // Per-shard breakdown + roll-up + pool occupancy; counter reads are
+  // racy-but-benign SWMR like every stats surface in the library.
+  ServiceStats service_stats() const;
+
+ private:
+  ShardedMap(std::vector<std::unique_ptr<ds::ISet>> shards, ShardHash hash);
+
+  // Per-(thread, shard) counter: each cell is written only by its owning
+  // thread (the relaxed load+store pair compiles to a plain increment),
+  // so routing adds no shared-line write — a shared per-shard counter
+  // would ping-pong its cache line between every core hitting a hot
+  // shard and skew the very scaling the layer exists to measure. Rows
+  // are cacheline-multiple strided so threads never share a line.
+  void count_op(int s) {
+    auto& c = ops_[static_cast<std::size_t>(runtime::my_tid()) * ops_stride_ +
+                   static_cast<std::size_t>(s)];
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  std::vector<std::unique_ptr<ds::ISet>> shards_;
+  std::size_t ops_stride_;  // shards rounded up to a cache line of u64s
+  std::unique_ptr<std::atomic<uint64_t>[]> ops_;
+  ShardHash hash_;
+};
+
+// Service-aware set factory: a ShardedMap for shards > 1, the plain
+// monolithic set for shards <= 1 (zero routing overhead when the axis is
+// off). nullptr on unknown ds/smr names.
+std::unique_ptr<ds::ISet> make_service_set(const std::string& ds,
+                                           const std::string& smr,
+                                           const ds::SetConfig& cfg,
+                                           int shards,
+                                           ShardHash hash = ShardHash::kSplitMix64);
+
+// Parses a shard-hash name ("splitmix" | "modulo"); returns true and
+// writes `out` on success.
+bool parse_shard_hash(const std::string& name, ShardHash* out);
+const char* shard_hash_name(ShardHash h);
+
+}  // namespace pop::service

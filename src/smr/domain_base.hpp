@@ -28,8 +28,13 @@ class DomainCore {
 
   ~DomainCore() {
     // The owning data structure has been (or is being) destroyed: nothing
-    // can still hold references, so drain every retire list.
-    for (int t = 0; t < runtime::kMaxThreads; ++t) {
+    // can still hold references, so drain every retire list. Only slots a
+    // thread ever attached covers every retire list (threads attach on
+    // their first operation, before any retire): a sharded service tears
+    // down N short-lived domains per map, and an unconditional
+    // kMaxThreads sweep per domain was the dominant teardown cost.
+    const int hi = hi_tid_.load(std::memory_order_acquire);
+    for (int t = 0; t <= hi; ++t) {
       auto& pt = *pt_[t];
       pt.stats.freed += pt.retire.drain();
     }
@@ -42,6 +47,12 @@ class DomainCore {
   bool attach_if_new(int tid) {
     auto& pt = *pt_[tid];
     if (pt.attached.load(std::memory_order_relaxed)) return false;
+    // High-water mark of attached tids, raised before the attach flag so
+    // teardown/snapshot sweeps bounded by it can never miss this slot.
+    int hw = hi_tid_.load(std::memory_order_relaxed);
+    while (hw < tid &&
+           !hi_tid_.compare_exchange_weak(hw, tid, std::memory_order_acq_rel)) {
+    }
     pt.attached.store(true, std::memory_order_release);
     return true;
   }
@@ -132,8 +143,18 @@ class DomainCore {
 
   StatsSnapshot stats_snapshot() const {
     StatsSnapshot s;
-    for (int t = 0; t < runtime::kMaxThreads; ++t) s.absorb(pt_[t]->stats);
+    // Same bound as teardown: slots past the attach high-water have never
+    // been written (the mem-timeline sampler calls this at cadence, and a
+    // sharded service multiplies it by the shard count).
+    const int hi = hi_tid_.load(std::memory_order_acquire);
+    for (int t = 0; t <= hi; ++t) s.absorb(pt_[t]->stats);
     return s;
+  }
+
+  // Largest tid that ever attached to this domain (-1: none); bounds
+  // per-domain sweeps the way ThreadRegistry::max_tid bounds global ones.
+  int max_attached_tid() const {
+    return hi_tid_.load(std::memory_order_acquire);
   }
 
   DomainCore(const DomainCore&) = delete;
@@ -149,6 +170,7 @@ class DomainCore {
   };
 
   SmrConfig cfg_;
+  std::atomic<int> hi_tid_{-1};
   runtime::Padded<PerThread> pt_[runtime::kMaxThreads];
 };
 

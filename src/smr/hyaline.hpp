@@ -40,11 +40,32 @@ class BrcDomain {
     attach();
     const int tid = runtime::my_tid();
     auto& pt = *pt_[tid];
-    const uint32_t p = phase_.load(std::memory_order_acquire) & 1u;
-    pt.my_phase = p;
-    // seq_cst: entry announcement ordered before the operation's reads.
-    pt.enters[p].store(pt.enters[p].load(std::memory_order_relaxed) + 1,
-                       std::memory_order_seq_cst);
+    // Announce-and-revalidate (the classic SRCU entry subtlety): between
+    // reading the phase and announcing, a reclaimer can flip that phase
+    // and run its drain — the drain balances before our announcement
+    // lands, the batch frees, and the critical section runs unprotected
+    // (observed in practice as a reader traversing recycled node memory;
+    // found by the TSan CI job). So announce, then re-read the phase:
+    // unchanged means any later flip's drain is seq_cst-after our entry
+    // store and must count us; changed means we might have been missed —
+    // withdraw (rebalancing the shard for the drain that skipped us) and
+    // re-announce. The comparison is on the FULL counter, not the parity:
+    // one reclaim pass flips twice, so parity alone revalidates
+    // spuriously when both flips (and both drains) land inside the
+    // window. Flips are reclaim-rate rare, so the loop almost never
+    // iterates.
+    for (;;) {
+      const uint64_t ph = phase_.load(std::memory_order_seq_cst);
+      const uint32_t p = static_cast<uint32_t>(ph) & 1u;
+      pt.enters[p].store(pt.enters[p].load(std::memory_order_relaxed) + 1,
+                         std::memory_order_seq_cst);
+      if (phase_.load(std::memory_order_seq_cst) == ph) {
+        pt.my_phase = p;
+        break;
+      }
+      pt.exits[p].store(pt.exits[p].load(std::memory_order_relaxed) + 1,
+                        std::memory_order_seq_cst);
+    }
   }
 
   void end_op() {
@@ -93,7 +114,11 @@ class BrcDomain {
   // retired before that point is unreferenced.
   void reclaim(int tid) {
     for (int round = 0; round < 2; ++round) {
-      const uint32_t old_phase = phase_.fetch_add(1, std::memory_order_acq_rel) & 1u;
+      // seq_cst flip: orders against readers' announce-and-revalidate
+      // (begin_op) so a reader whose entry predates the flip is always
+      // visible to the drain below.
+      const uint32_t old_phase = static_cast<uint32_t>(
+          phase_.fetch_add(1, std::memory_order_seq_cst) & 1u);
       drain(old_phase, tid);
     }
     auto& st = core_.stats(tid);
@@ -108,9 +133,11 @@ class BrcDomain {
       runtime::SpinThenYield waiter;
       // Late entries into phase p (threads that read the phase just before
       // the flip) still increment enters[p] and eventually exits[p]; spin
-      // until the shard balances.
-      while (pt.exits[p].load(std::memory_order_acquire) !=
-             pt.enters[p].load(std::memory_order_acquire)) {
+      // until the shard balances. seq_cst reads: an entry store that is
+      // seq_cst-before our flip must be visible here, or the reader's
+      // revalidation load would have seen the flip and withdrawn.
+      while (pt.exits[p].load(std::memory_order_seq_cst) !=
+             pt.enters[p].load(std::memory_order_seq_cst)) {
         waiter.wait();
       }
     }
@@ -124,7 +151,9 @@ class BrcDomain {
   };
 
   DomainCore core_;
-  std::atomic<uint32_t> phase_{0};
+  // u64: the entry revalidation compares full counter values, so wrap
+  // (the parity-ABA at 2^32 flips) is out of reach in practice.
+  std::atomic<uint64_t> phase_{0};
   runtime::Padded<PerThread> pt_[runtime::kMaxThreads];
 };
 

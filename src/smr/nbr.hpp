@@ -48,7 +48,11 @@ class NbrDomain final : public runtime::SignalClient {
       auto& pt = *pt_[tid];
       pt.read_phase.store(false, std::memory_order_relaxed);
       pt.write_phase.store(false, std::memory_order_relaxed);
-      pt.registry_epoch = runtime::ThreadRegistry::instance().slot_epoch(tid);
+      // Relaxed atomic: a reclaimer snapshotting a recycled tid mid-attach
+      // may read either epoch; both are safe (change-detection only).
+      pt.registry_epoch.store(
+          runtime::ThreadRegistry::instance().slot_epoch(tid),
+          std::memory_order_relaxed);
       runtime::SignalBus::instance().attach(this);
     }
   }
@@ -201,7 +205,7 @@ class NbrDomain final : public runtime::SignalClient {
     for (int t = 0; t <= hi; ++t) {
       if (t == tid || !core_.attached(t)) continue;
       waited[nwait++] = {t, pt_[t]->ack.load(std::memory_order_acquire),
-                         pt_[t]->registry_epoch};
+                         pt_[t]->registry_epoch.load(std::memory_order_relaxed)};
     }
     st.signals_sent += static_cast<uint64_t>(reg.ping_others(
         runtime::kPingSignal, [this](int t) { return core_.attached(t); },
@@ -232,7 +236,9 @@ class NbrDomain final : public runtime::SignalClient {
     std::atomic<bool> write_phase{false};
     std::atomic<uint64_t> ack{0};
     uint64_t pings = 0;
-    uint64_t registry_epoch = 0;
+    // Atomic: written on attach of a recycled tid while reclaimers read
+    // it for their staleness snapshots.
+    std::atomic<uint64_t> registry_epoch{0};
     bool reclaim_deferred = false;  // owner-thread only
   };
 

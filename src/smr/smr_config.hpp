@@ -50,7 +50,13 @@ struct StatsSnapshot {
   uint64_t max_retire_len = 0;   // max over threads
   uint64_t unreclaimed() const { return retired - freed; }
 
-  void absorb(const ThreadStats& t) {
+  // Accumulates either a per-thread cell (ThreadStats) or another
+  // snapshot (the service layer rolls one snapshot per shard into a
+  // total) — the two share field names by construction; keeping this a
+  // template means a new counter cannot be summed in one roll-up and
+  // silently dropped from the other.
+  template <class Counters>
+  void absorb(const Counters& t) {
     retired += t.retired;
     freed += t.freed;
     scans += t.scans;

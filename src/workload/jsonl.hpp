@@ -13,6 +13,27 @@
 
 namespace pop::workload {
 
+// One "shard" row per shard of a sharded run (no-op for monolithic runs,
+// whose ServiceStats stays empty): the per-shard routed-op count and
+// domain counters that make a hot shard visible in the artifact.
+inline void emit_shard_rows(std::FILE* f, const ScenarioSpec& spec,
+                            const ScenarioResult& r) {
+  for (const auto& s : r.service.shards) {
+    std::fprintf(
+        f,
+        "{\"kind\":\"shard\",\"scenario\":\"%s\",\"ds\":\"%s\","
+        "\"smr\":\"%s\",\"threads\":%d,\"shards\":%d,\"shard\":%d,"
+        "\"ops\":%llu,\"retired\":%llu,\"freed\":%llu,"
+        "\"unreclaimed\":%llu,\"signals_sent\":%llu}\n",
+        spec.name.c_str(), spec.ds.c_str(), spec.smr.c_str(), spec.threads,
+        spec.shards, s.shard, static_cast<unsigned long long>(s.ops),
+        static_cast<unsigned long long>(s.smr.retired),
+        static_cast<unsigned long long>(s.smr.freed),
+        static_cast<unsigned long long>(s.smr.unreclaimed()),
+        static_cast<unsigned long long>(s.smr.signals_sent));
+  }
+}
+
 inline void emit_scenario_jsonl(const std::string& path,
                                 const ScenarioSpec& spec,
                                 const ScenarioResult& r) {
@@ -26,13 +47,14 @@ inline void emit_scenario_jsonl(const std::string& path,
   std::fprintf(
       f,
       "{\"kind\":\"scenario\",\"scenario\":\"%s\",\"ds\":\"%s\","
-      "\"smr\":\"%s\",\"threads\":%d,\"seconds\":%.6f,\"mops\":%.6f,"
+      "\"smr\":\"%s\",\"threads\":%d,\"shards\":%d,\"seconds\":%.6f,"
+      "\"mops\":%.6f,"
       "\"read_mops\":%.6f,\"retired\":%llu,\"freed\":%llu,"
       "\"signals_sent\":%llu,\"vm_hwm_kib\":%llu,\"churn_cycles\":%llu,"
       "\"baseline_unreclaimed\":%llu,\"stall_peak_unreclaimed\":%llu,"
       "\"final_unreclaimed\":%llu,\"stall_parked_at_ms\":%llu,"
       "\"stall_resumed_at_ms\":%llu}\n",
-      nm, ds, smr, spec.threads, r.seconds, r.mops, r.read_mops,
+      nm, ds, smr, spec.threads, spec.shards, r.seconds, r.mops, r.read_mops,
       static_cast<unsigned long long>(r.smr.retired),
       static_cast<unsigned long long>(r.smr.freed),
       static_cast<unsigned long long>(r.smr.signals_sent),
@@ -80,6 +102,38 @@ inline void emit_scenario_jsonl(const std::string& path,
                                             : m.pool_allocated - m.pool_freed),
         m.victim_parked ? 1 : 0);
   }
+
+  emit_shard_rows(f, spec, r);
+  std::fclose(f);
+}
+
+// One "sharded" summary row per benchmark cell (bench_sharded's rail):
+// the cell identity plus the aggregate throughput and the per-shard load
+// spread, followed by the per-shard "shard" rows.
+inline void emit_sharded_jsonl(const std::string& path,
+                               const ScenarioSpec& spec,
+                               const ScenarioResult& r) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  std::fprintf(
+      f,
+      "{\"kind\":\"sharded\",\"scenario\":\"%s\",\"ds\":\"%s\","
+      "\"smr\":\"%s\",\"threads\":%d,\"shards\":%d,\"shard_hash\":\"%s\","
+      "\"seconds\":%.6f,\"mops\":%.6f,\"read_mops\":%.6f,\"retired\":%llu,"
+      "\"freed\":%llu,\"signals_sent\":%llu,\"final_unreclaimed\":%llu,"
+      "\"pool_live_blocks\":%llu,\"shard_ops_max\":%llu,"
+      "\"shard_ops_min\":%llu}\n",
+      spec.name.c_str(), spec.ds.c_str(), spec.smr.c_str(), spec.threads,
+      spec.shards, spec.shard_hash.c_str(), r.seconds, r.mops, r.read_mops,
+      static_cast<unsigned long long>(r.smr.retired),
+      static_cast<unsigned long long>(r.smr.freed),
+      static_cast<unsigned long long>(r.smr.signals_sent),
+      static_cast<unsigned long long>(r.final_unreclaimed),
+      static_cast<unsigned long long>(r.service.pool_live_blocks),
+      static_cast<unsigned long long>(r.service.ops_max_shard()),
+      static_cast<unsigned long long>(r.service.ops_min_shard()));
+  emit_shard_rows(f, spec, r);
   std::fclose(f);
 }
 

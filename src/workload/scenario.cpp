@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "runtime/thread_registry.hpp"
+#include "service/sharded_map.hpp"
 
 namespace pop::workload {
 
@@ -40,6 +41,23 @@ std::vector<std::string> normalize(ScenarioSpec& spec) {
     warn(w, "key_range %llu < 2: clamped to 2",
          static_cast<unsigned long long>(spec.key_range));
     spec.key_range = 2;
+  }
+  if (spec.shards < 1) {
+    warn(w, "shards %d < 1: clamped to 1", spec.shards);
+    spec.shards = 1;
+  }
+  if (static_cast<uint64_t>(spec.shards) > spec.key_range) {
+    warn(w, "shards %d exceeds key_range %llu: clamped to the key range",
+         spec.shards, static_cast<unsigned long long>(spec.key_range));
+    spec.shards = static_cast<int>(spec.key_range);
+  }
+  {
+    service::ShardHash h;
+    if (!service::parse_shard_hash(spec.shard_hash, &h)) {
+      warn(w, "unknown shard_hash '%s': reset to splitmix",
+           spec.shard_hash.c_str());
+      spec.shard_hash = "splitmix";
+    }
   }
   // The fill loops can insert at most key_range distinct keys; a larger
   // ask used to be silently under-delivered by the odd-key loop.

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "service/service_stats.hpp"
 #include "smr/smr_config.hpp"
 
 namespace pop::workload {
@@ -79,6 +80,13 @@ struct ScenarioSpec {
   std::string ds = "HML";
   std::string smr = "NR";
   int threads = 2;
+  // Service-layer shard axis: > 1 runs the workload against a ShardedMap
+  // of that many independent (ds, smr) shards — one SMR domain per shard
+  // — instead of one monolithic set. 1 = plain set, zero routing cost.
+  int shards = 1;
+  // Shard-selection hash: "splitmix" (scatter, the default) or "modulo"
+  // (key % shards: contiguous-range locality).
+  std::string shard_hash = "splitmix";
   uint64_t key_range = 2048;
   // Keys prefilled before phase 0 (default: key_range / 2).
   uint64_t prefill = UINT64_MAX;
@@ -158,6 +166,9 @@ struct ScenarioResult {
   uint64_t final_unreclaimed = 0;
   uint64_t stall_parked_at_ms = 0;
   uint64_t stall_resumed_at_ms = 0;
+  // Per-shard breakdown when the spec ran sharded (shards > 1); empty
+  // otherwise. service.smr matches the `smr` roll-up above.
+  service::ServiceStats service;
   std::vector<std::string> warnings;  // what normalize() adjusted
 };
 

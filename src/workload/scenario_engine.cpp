@@ -14,6 +14,7 @@
 #include "runtime/pool_alloc.hpp"
 #include "runtime/proc_stats.hpp"
 #include "runtime/rng.hpp"
+#include "service/sharded_map.hpp"
 #include "workload/key_dist.hpp"
 
 namespace pop::workload {
@@ -117,7 +118,23 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
   sc.capacity = spec.key_range;
   sc.load_factor = spec.load_factor;
   sc.smr = spec.smr_cfg;
-  auto set = ds::make_set(spec.ds, spec.smr, sc);
+  // Sharded specs run against a ShardedMap (one SMR domain per shard);
+  // shards == 1 takes the monolithic path with zero routing overhead.
+  service::ShardHash hash = service::ShardHash::kSplitMix64;
+  (void)service::parse_shard_hash(spec.shard_hash, &hash);
+  service::ShardedMap* sharded = nullptr;
+  std::unique_ptr<ds::ISet> set;
+  if (spec.shards > 1) {
+    service::ShardedMapConfig smc;
+    smc.shards = spec.shards;
+    smc.hash = hash;
+    smc.set = sc;
+    auto sm = service::ShardedMap::create(spec.ds, spec.smr, smc);
+    sharded = sm.get();
+    set = std::move(sm);
+  } else {
+    set = ds::make_set(spec.ds, spec.smr, sc);
+  }
   if (set == nullptr) {
     std::fprintf(stderr, "unknown ds/smr: %s/%s\n", spec.ds.c_str(),
                  spec.smr.c_str());
@@ -383,6 +400,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
     res.read_mops = static_cast<double>(res.reads_total) / res.seconds / 1e6;
   }
   res.smr = set->smr_stats();
+  if (sharded != nullptr) res.service = sharded->service_stats();
   res.vm_hwm_kib = runtime::vm_hwm_kib();
   res.final_size = set->size_slow();
   res.final_unreclaimed = res.smr.unreclaimed();

@@ -32,8 +32,9 @@ PhaseSpec phase(const char* name, uint64_t dur_ms, uint32_t ins, uint32_t ers,
 
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
-      "uniform-mixed", "hotspot-churn",        "moving-hotspot",
-      "stall-recovery", "oversubscribed-burst",
+      "uniform-mixed",  "hotspot-churn",        "moving-hotspot",
+      "stall-recovery", "oversubscribed-burst", "sharded-uniform",
+      "sharded-hotspot",
   };
   return names;
 }
@@ -58,6 +59,14 @@ std::string scenario_description(const std::string& name) {
     return "4x thread burst (past the core count) -> read-mostly -> "
            "erase-heavy drain, exercising preempted-thread handshakes";
   }
+  if (name == "sharded-uniform") {
+    return "key space partitioned over N shards (one SMR domain each), "
+           "uniform keys: the domain-contention split scale axis";
+  }
+  if (name == "sharded-hotspot") {
+    return "sharded map under Zipfian keys: the head keys concentrate on "
+           "one hot shard while the rest idle (skewed service traffic)";
+  }
   return "";
 }
 
@@ -69,6 +78,9 @@ std::optional<ScenarioSpec> make_scenario(const std::string& name,
   s.smr = b.smr;
   s.threads = std::max(1, b.threads);
   s.key_range = b.key_range ? b.key_range : default_range(b.ds);
+  // Any scenario can run sharded (bench_sharded sweeps the axis); only
+  // the sharded-* scenarios default it above 1.
+  s.shards = b.shards > 0 ? b.shards : 1;
   const double sc = b.time_scale > 0 ? b.time_scale : 1.0;
 
   if (name == "uniform-mixed") {
@@ -120,6 +132,25 @@ std::optional<ScenarioSpec> make_scenario(const std::string& name,
     s.stall.park_after_ms = scaled_ms(warm, sc);
     s.stall.park_for_ms = scaled_ms(stall, sc);
     s.mem_sample_every_ms = std::max<uint64_t>(1, scaled_ms(8, sc));
+    return s;
+  }
+
+  if (name == "sharded-uniform") {
+    if (b.shards <= 0) s.shards = 4;
+    s.phases.push_back(phase("mixed", 200, 30, 30, sc));
+    return s;
+  }
+
+  if (name == "sharded-hotspot") {
+    if (b.shards <= 0) s.shards = 4;
+    PhaseSpec p = phase("zipf", 250, 30, 30, sc);
+    // theta 0.99 (YCSB default): the top handful of keys carry most of
+    // the mass, so whichever shards they hash to run hot while the rest
+    // see background traffic — per-shard ops in the ServiceStats show it.
+    p.keys.kind = KeyDist::kZipfian;
+    p.keys.zipf_theta = 0.99;
+    s.phases.push_back(p);
+    s.mem_sample_every_ms = scaled_ms(10, sc);
     return s;
   }
 

@@ -23,6 +23,9 @@ struct ScenarioBuild {
   double time_scale = 1.0;
   // 0 = the scenario's own default range; smoke mode passes a small one.
   uint64_t key_range = 0;
+  // Service-layer shard count for the sharded-* scenarios; 0 = the
+  // scenario's own default (4 for sharded scenarios, 1 elsewhere).
+  int shards = 0;
 };
 
 // Registry order is presentation order.

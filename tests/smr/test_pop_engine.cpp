@@ -213,6 +213,108 @@ TEST(PopEngine, ConcurrentReclaimersShareOnePingWave) {
   for (auto& t : readers) t.join();
 }
 
+TEST(PopEngine, CrossEngineWavesCoalesce) {
+  // The handshake round is process-wide: with two co-resident domains
+  // (the sharded service layer's shape), a reclaimer in engine B that
+  // observes a wave led by a reclaimer in engine A rides it — one ping
+  // publishes every domain's reservations on the receiving thread, so
+  // A's broadcast advances B's publish counters too. Both handshakes
+  // must terminate, and overlapping rounds must share waves (fewer
+  // completed waves than handshakes).
+  PopEngine ea(4), eb(4);
+  constexpr int kReaders = 5;
+  // Barrier-released handshake pairs until one coalesces; the cap only
+  // bounds a pathological scheduler (each round overlaps with high
+  // probability, so the loop normally exits within a few rounds).
+  constexpr int kMaxRounds = 200;
+  std::atomic<bool> release{false};
+  std::atomic<int> up{0};
+  std::atomic<uintptr_t> expect_a[kReaders];
+  std::atomic<uintptr_t> expect_b[kReaders];
+  std::vector<std::thread> readers;
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&, i] {
+      const int tid = runtime::my_tid();
+      ea.attach(tid);
+      eb.attach(tid);
+      const auto va = 0xA0000 + 16 * static_cast<uintptr_t>(tid);
+      const auto vb = 0xB0000 + 16 * static_cast<uintptr_t>(tid);
+      ea.reserve_local(tid, 0, va);
+      eb.reserve_local(tid, 0, vb);
+      expect_a[i].store(va);
+      expect_b[i].store(vb);
+      up.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+      eb.detach(tid);
+      ea.detach(tid);
+    });
+  }
+  while (up.load() < kReaders) std::this_thread::yield();
+
+  std::atomic<int> attached{0};
+  std::atomic<int> arrived{0};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> handshakes{0};
+  // Worker 0 reclaims in engine A, worker 1 in engine B; a barrier per
+  // round releases both handshakes together so they overlap. Rounds
+  // repeat until some handshake joined the other engine's wave (checked
+  // after the barrier so both workers always agree on the round count).
+  test::run_threads(2, [&](int w) {
+    PopEngine& mine = w == 0 ? ea : eb;
+    const int tid = runtime::my_tid();
+    mine.attach(tid);
+    attached.fetch_add(1);
+    while (attached.load() < 2) std::this_thread::yield();
+    for (int r = 0; r < kMaxRounds; ++r) {
+      arrived.fetch_add(1);
+      while (arrived.load() < 2 * (r + 1)) std::this_thread::yield();
+      // A worker sets `stop` only before its barrier arrival, so both
+      // observe the same value here and exit on the same round.
+      if (stop.load()) break;
+      mine.ping_all_and_wait(tid);
+      handshakes.fetch_add(1);
+      if (ea.waves_joined() + eb.waves_joined() > 0) stop.store(true);
+    }
+    mine.detach(tid);
+  });
+
+  // Every handshake completed (we got here), and the reservations of
+  // both domains are visible after the storm.
+  uintptr_t shared[runtime::kMaxThreads * smr::kMaxSlots];
+  const int self = runtime::my_tid();
+  ea.attach(self);
+  eb.attach(self);
+  ea.ping_all_and_wait(self);
+  int n = ea.collect_shared(shared);
+  for (int i = 0; i < kReaders; ++i) {
+    bool found = false;
+    for (int j = 0; j < n; ++j) found = found || shared[j] == expect_a[i].load();
+    EXPECT_TRUE(found) << "engine A reservation of reader " << i << " missing";
+  }
+  eb.ping_all_and_wait(self);
+  n = eb.collect_shared(shared);
+  for (int i = 0; i < kReaders; ++i) {
+    bool found = false;
+    for (int j = 0; j < n; ++j) found = found || shared[j] == expect_b[i].load();
+    EXPECT_TRUE(found) << "engine B reservation of reader " << i << " missing";
+  }
+  ea.detach(self);
+  eb.detach(self);
+
+  // Coalescing across engines: some handshake rode a wave the *other*
+  // domain's reclaimer led (the loop above ran until it happened).
+  EXPECT_GT(ea.waves_joined() + eb.waves_joined(), 0u)
+      << "no cross-domain wave coalesced in " << kMaxRounds << " rounds";
+  // Accounting: led + joined covers every handshake the engines ran
+  // (the workers' rounds plus the two verification handshakes above).
+  EXPECT_EQ(ea.waves_led() + ea.waves_joined() + eb.waves_led() +
+                eb.waves_joined(),
+            handshakes.load() + 2);
+
+  release.store(true);
+  for (auto& t : readers) t.join();
+}
+
 TEST(PopEngine, PingsReceivedCounterTracksHandlers) {
   PopEngine e(4);
   std::atomic<bool> up{false}, release{false};

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validate popsmr benchmark JSONL artifacts (BENCH_*.json).
+
+Every bench binary appends JSON Lines to POPSMR_BENCH_JSON. Three row
+families exist:
+
+  * kind-tagged rows (bench_scenarios / bench_sharded): "scenario",
+    "phase", "mem_sample", "sharded", "shard"
+  * micro rows ("bench": "...") from the microbenchmarks
+  * legacy figure rows (no tag) from print_row: ds/smr/threads/mops/...
+
+CI's smoke jobs run this gate over their artifacts so a malformed or —
+the historical failure mode — silently *empty* artifact fails the job
+instead of uploading garbage. Usage:
+
+  tools/check_bench_jsonl.py BENCH_*.json [--require-kind scenario] \
+      [--min-rows 1] [--summary]
+
+Exits 0 iff every named file exists, is non-empty, every line parses as
+a JSON object matching its family's schema, and every --require-kind
+appears at least once across all files.
+"""
+
+import argparse
+import json
+import sys
+
+# Required fields per kind-tagged row family: (name, type) pairs. bool is
+# accepted for int fields only where noted; numbers must not be NaN/inf
+# (json.loads would have produced float('nan') from bare NaN, which the
+# emitters never write — reject them anyway).
+NUM = (int, float)
+SCHEMAS = {
+    "scenario": {
+        "scenario": str, "ds": str, "smr": str, "threads": int,
+        "shards": int, "seconds": NUM, "mops": NUM, "read_mops": NUM,
+        "retired": int, "freed": int, "signals_sent": int,
+        "vm_hwm_kib": int, "churn_cycles": int,
+        "baseline_unreclaimed": int, "stall_peak_unreclaimed": int,
+        "final_unreclaimed": int,
+    },
+    "phase": {
+        "scenario": str, "ds": str, "smr": str, "phase": str, "idx": int,
+        "threads": int, "seconds": NUM, "mops": NUM, "read_mops": NUM,
+        "retired": int, "freed": int, "signals_sent": int, "pings": int,
+        "neutralized": int, "max_retire_len": int, "unreclaimed_end": int,
+    },
+    "mem_sample": {
+        "scenario": str, "ds": str, "smr": str, "t_ms": int, "phase": int,
+        "vm_rss_kib": int, "vm_hwm_kib": int, "unreclaimed": int,
+        "pool_live_blocks": int, "victim_parked": int,
+    },
+    "sharded": {
+        "scenario": str, "ds": str, "smr": str, "threads": int,
+        "shards": int, "shard_hash": str, "seconds": NUM, "mops": NUM,
+        "read_mops": NUM, "retired": int, "freed": int,
+        "signals_sent": int, "final_unreclaimed": int,
+        "pool_live_blocks": int, "shard_ops_max": int, "shard_ops_min": int,
+    },
+    "shard": {
+        "scenario": str, "ds": str, "smr": str, "threads": int,
+        "shards": int, "shard": int, "ops": int, "retired": int,
+        "freed": int, "unreclaimed": int, "signals_sent": int,
+    },
+}
+
+# Untagged families, identified by a discriminating field.
+MICRO_REQUIRED = {"bench": str, "threads": int}
+LEGACY_REQUIRED = {
+    "ds": str, "smr": str, "threads": int, "mops": NUM, "read_mops": NUM,
+    "vm_hwm_kib": int, "freed": int, "signals_sent": int,
+}
+
+
+def check_fields(row, schema, where, errors):
+    for field, ftype in schema.items():
+        if field not in row:
+            errors.append(f"{where}: missing field '{field}'")
+            continue
+        v = row[field]
+        # bools are ints in Python; reject them for numeric fields.
+        if isinstance(v, bool) or not isinstance(v, ftype):
+            errors.append(
+                f"{where}: field '{field}' has type {type(v).__name__}, "
+                f"expected {ftype}")
+            continue
+        if isinstance(v, float) and (v != v or v in (float("inf"),
+                                                     float("-inf"))):
+            errors.append(f"{where}: field '{field}' is NaN/inf")
+
+
+def check_row(row, where, errors, kind_counts):
+    if not isinstance(row, dict):
+        errors.append(f"{where}: not a JSON object")
+        return
+    if "kind" in row:
+        kind = row["kind"]
+        if kind not in SCHEMAS:
+            errors.append(f"{where}: unknown kind '{kind}'")
+            return
+        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        check_fields(row, SCHEMAS[kind], f"{where} [{kind}]", errors)
+    elif "bench" in row:
+        kind_counts["micro"] = kind_counts.get("micro", 0) + 1
+        check_fields(row, MICRO_REQUIRED, f"{where} [micro]", errors)
+    else:
+        kind_counts["workload"] = kind_counts.get("workload", 0) + 1
+        check_fields(row, LEGACY_REQUIRED, f"{where} [workload]", errors)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help="JSONL artifacts to validate")
+    ap.add_argument("--require-kind", action="append", default=[],
+                    metavar="KIND",
+                    help="fail unless at least one row of KIND exists "
+                         "(scenario, phase, mem_sample, sharded, shard, "
+                         "micro, workload); repeatable")
+    ap.add_argument("--min-rows", type=int, default=1, metavar="N",
+                    help="fail any file with fewer than N rows (default 1: "
+                         "an empty artifact is a failure, not a pass)")
+    ap.add_argument("--summary", action="store_true",
+                    help="print per-kind row counts on success")
+    args = ap.parse_args()
+
+    errors = []
+    kind_counts = {}
+    total_rows = 0
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                lines = f.read().splitlines()
+        except OSError as e:
+            errors.append(f"{path}: unreadable: {e}")
+            continue
+        rows = 0
+        for lineno, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"{where}: invalid JSON: {e}")
+                continue
+            rows += 1
+            check_row(row, where, errors, kind_counts)
+        if rows < args.min_rows:
+            errors.append(
+                f"{path}: only {rows} row(s), expected >= {args.min_rows} "
+                "(empty artifacts previously passed CI silently)")
+        total_rows += rows
+
+    for kind in args.require_kind:
+        if kind_counts.get(kind, 0) == 0:
+            errors.append(
+                f"required kind '{kind}' absent from all inputs "
+                f"(saw: {sorted(kind_counts) or 'nothing'})")
+
+    if errors:
+        for e in errors[:50]:
+            print(f"check_bench_jsonl: {e}", file=sys.stderr)
+        if len(errors) > 50:
+            print(f"check_bench_jsonl: ... and {len(errors) - 50} more",
+                  file=sys.stderr)
+        return 1
+
+    if args.summary:
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(kind_counts.items()))
+        print(f"check_bench_jsonl: OK — {total_rows} rows ({counts})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
