@@ -13,8 +13,8 @@ void usage(const char* prog, int exit_code) {
       stderr,
       "usage: %s [--threads N,N,..] [--smr NAME,..] [--ds NAME,..]\n"
       "          [--shards N,N,..] [--shard-hash splitmix|modulo]\n"
-      "          [--duration-ms N] [--json PATH] [--scenario NAME|all]\n"
-      "          [--short] [--list] [--help]\n"
+      "          [--pct-put N,N,..] [--duration-ms N] [--json PATH]\n"
+      "          [--scenario NAME|all] [--short] [--list] [--help]\n"
       "Value flags seed the matching POPSMR_BENCH_* env var; an already\n"
       "exported var wins over the flag (CI compatibility).\n",
       prog);
@@ -67,6 +67,9 @@ CliOptions apply_bench_cli(int argc, char** argv) {
     } else if (matches(arg, "--shard-hash")) {
       seed_env("POPSMR_SHARD_HASH",
                flag_value(argc, argv, &i, "--shard-hash", prog));
+    } else if (matches(arg, "--pct-put")) {
+      seed_env("POPSMR_BENCH_PCT_PUT",
+               flag_value(argc, argv, &i, "--pct-put", prog));
     } else if (matches(arg, "--duration-ms")) {
       seed_env("POPSMR_BENCH_DURATION_MS",
                flag_value(argc, argv, &i, "--duration-ms", prog));

@@ -9,6 +9,7 @@
 //   --ds HML,HMHT          -> POPSMR_BENCH_DS      (bench_scenarios)
 //   --shards 1,2,4,8       -> POPSMR_BENCH_SHARDS  (bench_sharded)
 //   --shard-hash modulo    -> POPSMR_SHARD_HASH    (bench_sharded)
+//   --pct-put 0,10,50,90   -> POPSMR_BENCH_PCT_PUT (bench_kv)
 //   --duration-ms 200      -> POPSMR_BENCH_DURATION_MS
 //   --json out.jsonl       -> POPSMR_BENCH_JSON
 //   --scenario NAME|all    scenario selection       (bench_scenarios)

@@ -1,5 +1,7 @@
 #include "driver.hpp"
 
+#include <cctype>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -28,8 +30,7 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
   workload::PhaseSpec phase;
   phase.name = "main";
   phase.duration_ms = cfg.duration_ms;
-  phase.pct_insert = cfg.pct_insert;
-  phase.pct_erase = cfg.pct_erase;
+  static_cast<workload::OpMix&>(phase) = cfg;  // the shared mix, wholesale
   phase.split_readers_writers = cfg.split_readers_writers;
   phase.writer_key_range = cfg.writer_key_range;
   spec.phases.push_back(phase);
@@ -37,9 +38,7 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
   const auto r = workload::run_scenario(spec);
 
   WorkloadResult out;
-  out.ops_total = r.ops_total;
-  out.reads_total = r.reads_total;
-  out.updates_total = r.updates_total;
+  static_cast<workload::OpCounts&>(out) = r;  // the shared counters
   out.mops = r.mops;
   out.read_mops = r.read_mops;
   out.seconds = r.seconds;
@@ -89,6 +88,41 @@ std::vector<std::string> split_csv(const std::string& raw) {
   return out;
 }
 
+// The one parser behind every POPSMR_BENCH_* integer-list knob. Tokens
+// without a number (after optional whitespace and sign) are dropped;
+// values outside [lo, hi] are clamped into range when `clamp` is set and
+// dropped otherwise. An empty result falls back to `def`.
+std::vector<int> env_int_list(const char* var, const std::string& fallback,
+                              int lo, int hi, bool clamp, int def) {
+  const std::string raw = runtime::env_str(var, fallback);
+  std::vector<int> out;
+  for (const auto& tok : split_csv(raw)) {
+    const std::size_t i = tok.find_first_not_of(" \t");
+    if (i == std::string::npos) continue;
+    const std::size_t d =
+        i + ((tok[i] == '-' || tok[i] == '+') ? 1 : 0);
+    if (d >= tok.size() || !std::isdigit(static_cast<unsigned char>(tok[d]))) {
+      continue;  // no number: drop, don't parse to a silent 0
+    }
+    // strtol, not atoi: out-of-int-range input must saturate into the
+    // range filter below instead of being undefined behavior.
+    long v = std::strtol(tok.c_str() + i, nullptr, 10);
+    if (v > INT_MAX) v = INT_MAX;
+    if (v < INT_MIN) v = INT_MIN;
+    if (v < lo) {
+      if (!clamp) continue;
+      v = lo;
+    }
+    if (v > hi) {
+      if (!clamp) continue;
+      v = hi;
+    }
+    out.push_back(static_cast<int>(v));
+  }
+  if (out.empty()) out.push_back(def);
+  return out;
+}
+
 }  // namespace
 
 void print_row(const WorkloadConfig& cfg, const WorkloadResult& r) {
@@ -106,14 +140,8 @@ void print_row(const WorkloadConfig& cfg, const WorkloadResult& r) {
 }
 
 std::vector<int> bench_thread_list(const std::string& fallback) {
-  const std::string raw = runtime::env_str("POPSMR_BENCH_THREADS", fallback);
-  std::vector<int> out;
-  for (const auto& tok : split_csv(raw)) {
-    const int v = std::atoi(tok.c_str());
-    if (v > 0) out.push_back(v);
-  }
-  if (out.empty()) out.push_back(2);
-  return out;
+  return env_int_list("POPSMR_BENCH_THREADS", fallback, 1, INT_MAX,
+                      /*clamp=*/false, /*def=*/2);
 }
 
 std::vector<std::string> bench_smr_list() {
@@ -130,14 +158,15 @@ std::vector<std::string> bench_ds_list(const std::string& fallback) {
 }
 
 std::vector<int> bench_shard_list(const std::string& fallback) {
-  const std::string raw = runtime::env_str("POPSMR_BENCH_SHARDS", fallback);
-  std::vector<int> out;
-  for (const auto& tok : split_csv(raw)) {
-    const int v = std::atoi(tok.c_str());
-    if (v > 0) out.push_back(v);
-  }
-  if (out.empty()) out.push_back(1);
-  return out;
+  return env_int_list("POPSMR_BENCH_SHARDS", fallback, 1, INT_MAX,
+                      /*clamp=*/false, /*def=*/1);
+}
+
+std::vector<int> bench_pct_put_list(const std::string& fallback) {
+  // Clamped rather than dropped: 0 is a legitimate sweep point and an
+  // out-of-range ratio still names a nearest meaningful cell.
+  return env_int_list("POPSMR_BENCH_PCT_PUT", fallback, 0, 100,
+                      /*clamp=*/true, /*def=*/50);
 }
 
 uint64_t bench_duration_ms(uint64_t fallback) {

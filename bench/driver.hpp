@@ -18,19 +18,20 @@
 
 #include "ds/iset.hpp"
 #include "smr/smr_config.hpp"
+#include "workload/op_mix.hpp"
 
 namespace pop::bench {
 
-struct WorkloadConfig {
+// The op mix (pct_insert / pct_erase / pct_put, remainder get) is the
+// shared workload::OpMix base — the same vocabulary PhaseSpec uses, so
+// the driver and the scenario engine cannot drift apart again.
+struct WorkloadConfig : workload::OpMix {
   std::string ds = "HML";
   std::string smr = "NR";
   int threads = 2;
   uint64_t key_range = 2048;
   // Keys prefilled before the timed phase (default: key_range / 2).
   uint64_t prefill = UINT64_MAX;
-  // Operation mix in percent; the remainder is contains().
-  uint32_t pct_insert = 25;
-  uint32_t pct_erase = 25;
   uint64_t duration_ms = 200;
   double load_factor = 6.0;  // hash table only
   smr::SmrConfig smr_cfg;
@@ -42,12 +43,11 @@ struct WorkloadConfig {
   uint64_t writer_key_range = 64;
 };
 
-struct WorkloadResult {
-  uint64_t ops_total = 0;
-  uint64_t reads_total = 0;
-  uint64_t updates_total = 0;
+// Per-op counters (ops/reads/updates + the KV breakdown) come from the
+// shared workload::OpCounts base; `ops` is the old ops_total.
+struct WorkloadResult : workload::OpCounts {
   double mops = 0;        // total million ops/second
-  double read_mops = 0;   // contains() throughput only
+  double read_mops = 0;   // get()/contains() throughput only
   double seconds = 0;
   smr::StatsSnapshot smr;
   uint64_t vm_hwm_kib = 0;
@@ -71,6 +71,7 @@ void print_row(const WorkloadConfig& cfg, const WorkloadResult& r);
 //   POPSMR_BENCH_THREADS      comma list, e.g. "1,2,4"
 //   POPSMR_BENCH_SMRS         comma list of scheme names
 //   POPSMR_BENCH_DS           comma list of data structures (bench_scenarios)
+//   POPSMR_BENCH_PCT_PUT      comma list of put ratios (bench_kv)
 //   POPSMR_BENCH_JSON         path; print_row also appends one JSON object
 //                             per cell (JSON Lines: ds, smr, threads, mops,
 //                             read_mops, vm_hwm_kib, freed, signals_sent) —
@@ -82,6 +83,9 @@ std::vector<std::string> bench_smr_list();
 std::vector<std::string> bench_ds_list(const std::string& fallback);
 // POPSMR_BENCH_SHARDS comma list (bench_sharded's sweep axis).
 std::vector<int> bench_shard_list(const std::string& fallback);
+// POPSMR_BENCH_PCT_PUT comma list of put ratios (bench_kv's sweep axis);
+// values are clamped to [0, 100].
+std::vector<int> bench_pct_put_list(const std::string& fallback);
 uint64_t bench_duration_ms(uint64_t fallback);
 
 }  // namespace pop::bench

@@ -45,11 +45,14 @@ double run_once() {
         const uint64_t k = rng.next_below(kRange);
         const uint64_t dice = rng.next_below(100);
         if (dice < 10) {
-          tree.insert(k);
+          // put = insert-or-replace: a replace retires the displaced
+          // node, the same drop-in code path under every scheme.
+          (void)tree.put(k, local);
         } else if (dice < 20) {
           tree.erase(k);
         } else {
-          (void)tree.contains(k);
+          uint64_t v = 0;
+          (void)tree.get(k, &v);
         }
         ++local;
       }
@@ -66,8 +69,8 @@ double run_once() {
 }  // namespace
 
 int main() {
-  std::printf("drop_in_migration: DGT tree, 80%% reads, 2 threads, "
-              "same source — four reclaimers:\n");
+  std::printf("drop_in_migration: DGT tree KV mix (80%% get / 10%% put / "
+              "10%% erase), 2 threads, same source — four reclaimers:\n");
   std::printf("  %-14s %8.3f Mops/s (eager publish + fence per read)\n",
               "HP", run_once<pop::smr::HpDomain>());
   std::printf("  %-14s %8.3f Mops/s (publish on ping)\n", "HazardPtrPOP",

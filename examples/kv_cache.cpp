@@ -1,9 +1,12 @@
-// kv_cache: a concurrent membership cache built on the hash table with
+// kv_cache: a concurrent key-value cache built on the hash table with
 // EpochPOP — the paper's recommended default (EBR speed, HP robustness).
 //
-// Models a read-mostly service: most requests are lookups, a background
-// churn of inserts/evictions retires nodes constantly, and one deliberately
-// slow "analytics" thread parks inside an operation. Under plain EBR that
+// Models a read-mostly service that actually stores payloads: lookups
+// return the cached value, admissions/refreshes are put() —
+// insert-or-replace, where every refresh of a hot key retires the
+// displaced node while readers may still hold it — and a background
+// eviction churn keeps membership moving. One deliberately slow
+// "analytics" thread parks inside an operation. Under plain EBR that
 // stall would pin all garbage; EpochPOP's publish-on-ping fallback keeps
 // reclaiming — watch the pop_frees counter.
 #include <atomic>
@@ -23,11 +26,11 @@ int main() {
   constexpr uint64_t kCapacity = 1 << 14;
   pop::ds::HashTable<pop::core::EpochPopDomain> cache(kCapacity, 6.0, cfg);
 
-  // Warm the cache.
-  for (uint64_t k = 0; k < kCapacity / 2; ++k) cache.insert(k * 2);
+  // Warm the cache: value = generation-0 payload for each key.
+  for (uint64_t k = 0; k < kCapacity / 2; ++k) cache.put(k * 2, k * 2);
 
   std::atomic<bool> stop{false};
-  std::atomic<uint64_t> hits{0}, misses{0}, evictions{0};
+  std::atomic<uint64_t> hits{0}, misses{0}, refreshes{0}, evictions{0};
 
   // A slow thread parked inside an operation: the robustness scenario.
   std::atomic<bool> parked{false};
@@ -45,17 +48,21 @@ int main() {
   for (int w = 0; w < 3; ++w) {
     workers.emplace_back([&, w] {
       pop::runtime::Xoshiro256 rng(100 + w);
+      uint64_t generation = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         const uint64_t k = rng.next_below(kCapacity);
         const uint64_t dice = rng.next_below(100);
-        if (dice < 80) {  // lookup
-          if (cache.contains(k)) {
+        if (dice < 80) {  // lookup: the value rides back with the hit
+          uint64_t payload = 0;
+          if (cache.get(k, &payload)) {
             hits.fetch_add(1, std::memory_order_relaxed);
           } else {
             misses.fetch_add(1, std::memory_order_relaxed);
           }
-        } else if (dice < 90) {  // admit
-          cache.insert(k);
+        } else if (dice < 90) {  // admit or refresh the payload
+          if (cache.put(k, ++generation) == pop::ds::PutResult::kReplaced) {
+            refreshes.fetch_add(1, std::memory_order_relaxed);
+          }
         } else {  // evict
           if (cache.erase(k)) evictions.fetch_add(1, std::memory_order_relaxed);
         }
@@ -70,9 +77,11 @@ int main() {
   analytics.join();
 
   const auto s = cache.domain().stats();
-  std::printf("kv_cache: hits=%llu misses=%llu evictions=%llu\n",
+  std::printf("kv_cache: hits=%llu misses=%llu refreshes=%llu "
+              "evictions=%llu\n",
               static_cast<unsigned long long>(hits.load()),
               static_cast<unsigned long long>(misses.load()),
+              static_cast<unsigned long long>(refreshes.load()),
               static_cast<unsigned long long>(evictions.load()));
   std::printf("kv_cache: retired=%llu freed=%llu unreclaimed=%llu\n",
               static_cast<unsigned long long>(s.retired),
@@ -83,6 +92,7 @@ int main() {
               static_cast<unsigned long long>(s.pop_frees),
               static_cast<unsigned long long>(s.signals_sent));
   std::printf("kv_cache: with a parked reader, pop_frees > 0 shows the "
-              "publish-on-ping fallback reclaiming where EBR could not.\n");
+              "publish-on-ping fallback reclaiming where EBR could not — "
+              "every refresh above fed it a displaced node.\n");
   return 0;
 }

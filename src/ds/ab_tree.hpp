@@ -27,6 +27,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "ds/kv.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/spinlock.hpp"
 #include "smr/checkpoint.hpp"
@@ -48,62 +49,60 @@ class AbTree {
 
   ~AbTree() { destroy_rec(anchor_); }
 
-  bool contains(uint64_t key) {
+  bool get(uint64_t key, uint64_t* val_out) {
     typename Smr::Guard g(smr_);
   retry:
     POPSMR_CHECKPOINT(smr_);
     Desc d;
     if (!descend(key, /*preemptive_split=*/false, d)) goto retry;
-    return leaf_contains(d.leaf, key);
+    const int i = leaf_index_of(d.leaf, key);
+    if (i < 0) return false;
+    // Leaves are immutable after publication: a superseded leaf's value
+    // is the pre-replacement mapping, linearized at the child-edge read.
+    if (val_out != nullptr) *val_out = d.leaf->vals[i];
+    return true;
   }
 
-  bool insert(uint64_t key) {
+  bool contains(uint64_t key) { return get(key, nullptr); }
+
+  bool insert(uint64_t key, uint64_t val) {
     typename Smr::Guard g(smr_);
   retry:
     POPSMR_CHECKPOINT(smr_);
     Desc d;
     if (!descend(key, /*preemptive_split=*/true, d)) goto retry;
     if (leaf_contains(d.leaf, key)) return false;
+    if (!add_to_leaf(d, key, val)) goto retry;
+    return true;
+  }
 
-    smr_.enter_write_phase({d.parent, d.leaf});
-    d.parent->lock.lock();
-    const int j = child_index_of(d.parent, d.leaf);
-    if (j < 0 || d.parent->marked.load(std::memory_order_acquire)) {
-      d.parent->lock.unlock();
-      smr_.exit_write_phase();
-      goto retry;
-    }
-    if (d.leaf->nkeys < kMaxKeys) {
-      Leaf* nl = leaf_copy_insert(d.leaf, key);
+  bool insert(uint64_t key) { return insert(key, key); }
+
+  PutResult put(uint64_t key, uint64_t val) {
+    typename Smr::Guard g(smr_);
+  retry:
+    POPSMR_CHECKPOINT(smr_);
+    Desc d;
+    if (!descend(key, /*preemptive_split=*/true, d)) goto retry;
+    if (leaf_contains(d.leaf, key)) {
+      // Replace: copy-on-write the leaf with the new value and swing one
+      // child pointer — the same publication step every update uses.
+      smr_.enter_write_phase({d.parent, d.leaf});
+      d.parent->lock.lock();
+      const int j = child_index_of(d.parent, d.leaf);
+      if (j < 0 || d.parent->marked.load(std::memory_order_acquire)) {
+        d.parent->lock.unlock();
+        smr_.exit_write_phase();
+        goto retry;
+      }
+      Leaf* nl = leaf_copy_replace(d.leaf, key, val);
       d.parent->children[j].store(nl, std::memory_order_release);
       d.parent->lock.unlock();
       smr_.retire(d.leaf);
-      return true;
+      return PutResult::kReplaced;
     }
-    // Leaf split. Preemptive splitting guarantees room in the parent
-    // unless a concurrent insert filled it since our descent.
-    if (d.parent != anchor_ && d.parent->nkeys.load(std::memory_order_relaxed)
-        >= static_cast<uint32_t>(kMaxKeys)) {
-      d.parent->lock.unlock();
-      smr_.exit_write_phase();
-      goto retry;  // the next descent will split this parent
-    }
-    uint64_t sep;
-    Leaf *l1, *l2;
-    leaf_split_insert(d.leaf, key, sep, l1, l2);
-    if (d.parent == anchor_) {
-      Internal* nr = smr_.template create<Internal>();
-      nr->nkeys.store(1, std::memory_order_relaxed);
-      nr->keys[0].store(sep, std::memory_order_relaxed);
-      nr->children[0].store(l1, std::memory_order_relaxed);
-      nr->children[1].store(l2, std::memory_order_relaxed);
-      anchor_->children[0].store(nr, std::memory_order_release);
-    } else {
-      internal_insert_sep(d.parent, j, sep, l1, l2);
-    }
-    d.parent->lock.unlock();
-    smr_.retire(d.leaf);
-    return true;
+    if (!add_to_leaf(d, key, val)) goto retry;
+    return PutResult::kInserted;
   }
 
   bool erase(uint64_t key) {
@@ -146,6 +145,7 @@ class AbTree {
     Leaf() : NodeBase(true) {}
     uint32_t nkeys = 0;
     uint64_t keys[kMaxKeys] = {};
+    uint64_t vals[kMaxKeys] = {};  // vals[i] maps keys[i]
   };
 
   struct Internal : NodeBase {
@@ -166,6 +166,51 @@ class AbTree {
     Internal* parent;  // last internal (or the anchor)
     Leaf* leaf;
   };
+
+  // Adds (key, val) to d.leaf by copy-on-write (splitting a full leaf).
+  // Returns false when validation failed and the caller must re-descend;
+  // on success the write phase is left open for the Guard to close.
+  bool add_to_leaf(Desc& d, uint64_t key, uint64_t val) {
+    smr_.enter_write_phase({d.parent, d.leaf});
+    d.parent->lock.lock();
+    const int j = child_index_of(d.parent, d.leaf);
+    if (j < 0 || d.parent->marked.load(std::memory_order_acquire)) {
+      d.parent->lock.unlock();
+      smr_.exit_write_phase();
+      return false;
+    }
+    if (d.leaf->nkeys < kMaxKeys) {
+      Leaf* nl = leaf_copy_insert(d.leaf, key, val);
+      d.parent->children[j].store(nl, std::memory_order_release);
+      d.parent->lock.unlock();
+      smr_.retire(d.leaf);
+      return true;
+    }
+    // Leaf split. Preemptive splitting guarantees room in the parent
+    // unless a concurrent insert filled it since our descent.
+    if (d.parent != anchor_ && d.parent->nkeys.load(std::memory_order_relaxed)
+        >= static_cast<uint32_t>(kMaxKeys)) {
+      d.parent->lock.unlock();
+      smr_.exit_write_phase();
+      return false;  // the next descent will split this parent
+    }
+    uint64_t sep;
+    Leaf *l1, *l2;
+    leaf_split_insert(d.leaf, key, val, sep, l1, l2);
+    if (d.parent == anchor_) {
+      Internal* nr = smr_.template create<Internal>();
+      nr->nkeys.store(1, std::memory_order_relaxed);
+      nr->keys[0].store(sep, std::memory_order_relaxed);
+      nr->children[0].store(l1, std::memory_order_relaxed);
+      nr->children[1].store(l2, std::memory_order_relaxed);
+      anchor_->children[0].store(nr, std::memory_order_release);
+    } else {
+      internal_insert_sep(d.parent, j, sep, l1, l2);
+    }
+    d.parent->lock.unlock();
+    smr_.retire(d.leaf);
+    return true;
+  }
 
   // ---- seqlock-validated internal read ------------------------------------
 
@@ -332,26 +377,49 @@ class AbTree {
 
   // ---- immutable leaf helpers ------------------------------------------------
 
-  static bool leaf_contains(const Leaf* l, uint64_t key) {
+  static int leaf_index_of(const Leaf* l, uint64_t key) {
     for (uint32_t i = 0; i < l->nkeys; ++i) {
-      if (l->keys[i] == key) return true;
+      if (l->keys[i] == key) return static_cast<int>(i);
     }
-    return false;
+    return -1;
   }
 
-  Leaf* leaf_copy_insert(const Leaf* l, uint64_t key) {
+  static bool leaf_contains(const Leaf* l, uint64_t key) {
+    return leaf_index_of(l, key) >= 0;
+  }
+
+  Leaf* leaf_copy_insert(const Leaf* l, uint64_t key, uint64_t val) {
     Leaf* nl = smr_.template create<Leaf>();
     uint32_t n = 0;
     bool placed = false;
     for (uint32_t i = 0; i < l->nkeys; ++i) {
       if (!placed && key < l->keys[i]) {
-        nl->keys[n++] = key;
+        nl->keys[n] = key;
+        nl->vals[n] = val;
+        ++n;
         placed = true;
       }
-      nl->keys[n++] = l->keys[i];
+      nl->keys[n] = l->keys[i];
+      nl->vals[n] = l->vals[i];
+      ++n;
     }
-    if (!placed) nl->keys[n++] = key;
+    if (!placed) {
+      nl->keys[n] = key;
+      nl->vals[n] = val;
+      ++n;
+    }
     nl->nkeys = n;
+    return nl;
+  }
+
+  // Same keys, `key` remapped to `val` (the put-replace copy).
+  Leaf* leaf_copy_replace(const Leaf* l, uint64_t key, uint64_t val) {
+    Leaf* nl = smr_.template create<Leaf>();
+    for (uint32_t i = 0; i < l->nkeys; ++i) {
+      nl->keys[i] = l->keys[i];
+      nl->vals[i] = l->keys[i] == key ? val : l->vals[i];
+    }
+    nl->nkeys = l->nkeys;
     return nl;
   }
 
@@ -359,32 +427,52 @@ class AbTree {
     Leaf* nl = smr_.template create<Leaf>();
     uint32_t n = 0;
     for (uint32_t i = 0; i < l->nkeys; ++i) {
-      if (l->keys[i] != key) nl->keys[n++] = l->keys[i];
+      if (l->keys[i] != key) {
+        nl->keys[n] = l->keys[i];
+        nl->vals[n] = l->vals[i];
+        ++n;
+      }
     }
     nl->nkeys = n;
     return nl;
   }
 
-  // Splits a full leaf plus `key` into two leaves; sep = l2's first key.
-  void leaf_split_insert(const Leaf* l, uint64_t key, uint64_t& sep,
-                         Leaf*& l1, Leaf*& l2) {
+  // Splits a full leaf plus (key, val) into two leaves; sep = l2's first
+  // key.
+  void leaf_split_insert(const Leaf* l, uint64_t key, uint64_t val,
+                         uint64_t& sep, Leaf*& l1, Leaf*& l2) {
     uint64_t all[kMaxKeys + 1];
+    uint64_t allv[kMaxKeys + 1];
     uint32_t n = 0;
     bool placed = false;
     for (uint32_t i = 0; i < l->nkeys; ++i) {
       if (!placed && key < l->keys[i]) {
-        all[n++] = key;
+        all[n] = key;
+        allv[n] = val;
+        ++n;
         placed = true;
       }
-      all[n++] = l->keys[i];
+      all[n] = l->keys[i];
+      allv[n] = l->vals[i];
+      ++n;
     }
-    if (!placed) all[n++] = key;
+    if (!placed) {
+      all[n] = key;
+      allv[n] = val;
+      ++n;
+    }
     const uint32_t half = n / 2;
     l1 = smr_.template create<Leaf>();
     l2 = smr_.template create<Leaf>();
-    for (uint32_t i = 0; i < half; ++i) l1->keys[i] = all[i];
+    for (uint32_t i = 0; i < half; ++i) {
+      l1->keys[i] = all[i];
+      l1->vals[i] = allv[i];
+    }
     l1->nkeys = half;
-    for (uint32_t i = half; i < n; ++i) l2->keys[i - half] = all[i];
+    for (uint32_t i = half; i < n; ++i) {
+      l2->keys[i - half] = all[i];
+      l2->vals[i - half] = allv[i];
+    }
     l2->nkeys = n - half;
     sep = all[half];
   }

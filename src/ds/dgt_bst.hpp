@@ -2,10 +2,16 @@
 // David, Guerraoui & Trigonakis (ASCY, ASPLOS'15): lock-free traversals,
 // per-node spinlocks on the update path (Figures 1a, 3b, 6).
 //
-// Internal nodes route (key < node.key goes left); leaves hold the set's
-// keys. An insert replaces a leaf with a three-node subtree; a delete
-// unlinks a leaf *and its parent*, retiring both — two retirements per
-// delete makes this tree a heavy SMR exerciser.
+// Internal nodes route (key < node.key goes left); leaves hold the map's
+// keys and values. An insert replaces a leaf with a three-node subtree; a
+// delete unlinks a leaf *and its parent*, retiring both — two
+// retirements per delete makes this tree a heavy SMR exerciser. A
+// put-replace swings the parent's child pointer from the old leaf to a
+// fresh one (values are immutable after publication) and retires the
+// displaced leaf; the old leaf is NOT deletion-marked — a reader still
+// holding it reads the key as present with the old value, which
+// linearizes before the swap, while writers revalidate membership by
+// identity and retry.
 //
 // SMR discipline: nodes are marked before being unlinked, and a traversal
 // validates, after protecting a child read from p, that p is still
@@ -16,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "ds/kv.hpp"
 #include "runtime/spinlock.hpp"
 #include "smr/checkpoint.hpp"
 #include "smr/domain_base.hpp"
@@ -41,17 +48,26 @@ class DgtBst {
 
   ~DgtBst() { destroy_rec(root_); }
 
-  bool contains(uint64_t key) {
+  bool get(uint64_t key, uint64_t* val_out) {
     typename Smr::Guard g(smr_);
   retry:
     POPSMR_CHECKPOINT(smr_);
     Desc d;
     if (!search(key, d)) goto retry;
-    return d.leaf->key == key &&
-           !d.leaf->marked.load(std::memory_order_acquire);
+    if (d.leaf->key != key ||
+        d.leaf->marked.load(std::memory_order_acquire)) {
+      return false;
+    }
+    // Leaf payloads are immutable after publication (a replace swings in
+    // a fresh leaf), so this read is untorn; a displaced leaf's old value
+    // linearizes before the swap.
+    if (val_out != nullptr) *val_out = d.leaf->val;
+    return true;
   }
 
-  bool insert(uint64_t key) {
+  bool contains(uint64_t key) { return get(key, nullptr); }
+
+  bool insert(uint64_t key, uint64_t val) {
     typename Smr::Guard g(smr_);
   retry:
     POPSMR_CHECKPOINT(smr_);
@@ -61,28 +77,40 @@ class DgtBst {
       if (d.leaf->marked.load(std::memory_order_acquire)) goto retry;
       return false;  // present (observed unmarked)
     }
-    smr_.enter_write_phase({d.parent, d.leaf});
-    d.parent->lock.lock();
-    auto& slot = d.leaf_dir_left ? d.parent->left : d.parent->right;
-    if (d.parent->marked.load(std::memory_order_acquire) ||
-        slot.load(std::memory_order_acquire) != d.leaf) {
-      d.parent->lock.unlock();
-      smr_.exit_write_phase();
-      goto retry;
-    }
-    Node* new_leaf = smr_.template create<Node>(key, /*leaf=*/true);
-    Node* internal = smr_.template create<Node>(
-        key > d.leaf->key ? key : d.leaf->key, /*leaf=*/false);
-    if (key < d.leaf->key) {
-      internal->left.store(new_leaf, std::memory_order_relaxed);
-      internal->right.store(d.leaf, std::memory_order_relaxed);
-    } else {
-      internal->left.store(d.leaf, std::memory_order_relaxed);
-      internal->right.store(new_leaf, std::memory_order_relaxed);
-    }
-    slot.store(internal, std::memory_order_release);
-    d.parent->lock.unlock();
+    if (!grow_leaf(d, key, val)) goto retry;
     return true;
+  }
+
+  bool insert(uint64_t key) { return insert(key, key); }
+
+  PutResult put(uint64_t key, uint64_t val) {
+    typename Smr::Guard g(smr_);
+  retry:
+    POPSMR_CHECKPOINT(smr_);
+    Desc d;
+    if (!search(key, d)) goto retry;
+    if (d.leaf->key == key) {
+      if (d.leaf->marked.load(std::memory_order_acquire)) goto retry;
+      // Replace: swing the parent's child edge to a fresh leaf. Member-
+      // ship is revalidated by identity under the parent's lock (an
+      // erase-marked or already-replaced leaf is no longer its child).
+      smr_.enter_write_phase({d.parent, d.leaf});
+      d.parent->lock.lock();
+      auto& slot = d.leaf_dir_left ? d.parent->left : d.parent->right;
+      if (d.parent->marked.load(std::memory_order_acquire) ||
+          slot.load(std::memory_order_acquire) != d.leaf) {
+        d.parent->lock.unlock();
+        smr_.exit_write_phase();
+        goto retry;
+      }
+      Node* nl = smr_.template create<Node>(key, /*leaf=*/true, val);
+      slot.store(nl, std::memory_order_release);
+      d.parent->lock.unlock();
+      smr_.retire(d.leaf);
+      return PutResult::kReplaced;
+    }
+    if (!grow_leaf(d, key, val)) goto retry;
+    return PutResult::kInserted;
   }
 
   bool erase(uint64_t key) {
@@ -140,8 +168,10 @@ class DgtBst {
 
  private:
   struct Node : smr::Reclaimable {
-    Node(uint64_t k, bool is_leaf) : key(k), leaf(is_leaf) {}
+    Node(uint64_t k, bool is_leaf, uint64_t v = 0)
+        : key(k), val(v), leaf(is_leaf) {}
     uint64_t key;
+    uint64_t val;  // leaf payload; immutable after publication
     bool leaf;
     std::atomic<Node*> left{nullptr};
     std::atomic<Node*> right{nullptr};
@@ -160,6 +190,34 @@ class DgtBst {
     Node* leaf;
     bool leaf_dir_left;  // leaf is parent->left
   };
+
+  // Replaces d.leaf with a three-node subtree adding (key, val). Returns
+  // false when validation failed and the caller must re-descend. On
+  // success the write phase is left open for the Guard to close.
+  bool grow_leaf(Desc& d, uint64_t key, uint64_t val) {
+    smr_.enter_write_phase({d.parent, d.leaf});
+    d.parent->lock.lock();
+    auto& slot = d.leaf_dir_left ? d.parent->left : d.parent->right;
+    if (d.parent->marked.load(std::memory_order_acquire) ||
+        slot.load(std::memory_order_acquire) != d.leaf) {
+      d.parent->lock.unlock();
+      smr_.exit_write_phase();
+      return false;
+    }
+    Node* new_leaf = smr_.template create<Node>(key, /*leaf=*/true, val);
+    Node* internal = smr_.template create<Node>(
+        key > d.leaf->key ? key : d.leaf->key, /*leaf=*/false);
+    if (key < d.leaf->key) {
+      internal->left.store(new_leaf, std::memory_order_relaxed);
+      internal->right.store(d.leaf, std::memory_order_relaxed);
+    } else {
+      internal->left.store(d.leaf, std::memory_order_relaxed);
+      internal->right.store(new_leaf, std::memory_order_relaxed);
+    }
+    slot.store(internal, std::memory_order_release);
+    d.parent->lock.unlock();
+    return true;
+  }
 
   // Descends to the leaf for `key`. Returns false when a validation
   // failed and the caller must restart. On success gparent/parent/leaf

@@ -38,8 +38,17 @@ class HashTable {
     for (Node* h : heads_) Ops::destroy_chain(h);
   }
 
+  bool get(uint64_t k, uint64_t* val_out) {
+    return Ops::get(smr_, bucket(k), k, val_out);
+  }
+  PutResult put(uint64_t k, uint64_t v) {
+    return Ops::put(smr_, bucket(k), k, v);
+  }
   bool contains(uint64_t k) { return Ops::contains(smr_, bucket(k), k); }
-  bool insert(uint64_t k) { return Ops::insert(smr_, bucket(k), k); }
+  bool insert(uint64_t k, uint64_t v) {
+    return Ops::insert(smr_, bucket(k), k, v);
+  }
+  bool insert(uint64_t k) { return insert(k, k); }
   bool erase(uint64_t k) { return Ops::erase(smr_, bucket(k), k); }
 
   uint64_t size_slow() const {

@@ -1,5 +1,6 @@
-// Harris-Michael lock-free linked-list set (HML) — Michael, PODC'02 — the
-// paper's list workhorse (Figure 2a, Figure 4, appendix Figures 8/10).
+// Harris-Michael lock-free linked-list map (HML) — Michael, PODC'02 — the
+// paper's list workhorse (Figure 2a, Figure 4, appendix Figures 8/10),
+// promoted to carry a value per node.
 //
 // Written against the uniform SMR policy interface, so the same code runs
 // under HP, HPAsym, HE, EBR, IBR, NBR+, BRC and the three POP schemes —
@@ -14,6 +15,15 @@
 //    each operation) and every CAS runs in a write phase with its operands
 //    reserved first.
 //
+// Values are immutable after publication: put() on an existing key never
+// writes the old node — it marks the old node (the erase mark, winning
+// against concurrent erasers) and then swings prev->next from the old
+// node to a fresh one in a single CAS, retiring the displaced node as the
+// unique unlinker. The common path is therefore one mark + one swap; if a
+// helping traversal steals the unlink between the two CASes, the put
+// degrades to a fresh insert (the replace then linearizes as a deletion
+// immediately followed by an insertion).
+//
 // HmOps exposes the algorithm over an external head so the hash table can
 // reuse it bucket-wise with a single shared reclamation domain.
 #pragma once
@@ -21,6 +31,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "ds/kv.hpp"
 #include "smr/checkpoint.hpp"
 #include "smr/domain_base.hpp"
 #include "smr/smr_config.hpp"
@@ -31,8 +42,9 @@ namespace pop::ds {
 template <class Smr>
 struct HmOps {
   struct Node : smr::Reclaimable {
-    explicit Node(uint64_t k) : key(k) {}
+    explicit Node(uint64_t k, uint64_t v = 0) : key(k), val(v) {}
     uint64_t key;
+    uint64_t val;  // immutable after publication (replace swaps nodes)
     std::atomic<Node*> next{nullptr};
   };
 
@@ -99,28 +111,89 @@ struct HmOps {
     }
   }
 
-  static bool contains(Smr& smr, Node* head, uint64_t key) {
+  // get: the node's value is immutable after publication, so once find()
+  // validated curr's reservation the plain read is safe and untorn.
+  static bool get(Smr& smr, Node* head, uint64_t key, uint64_t* val_out) {
     typename Smr::Guard g(smr);
     POPSMR_CHECKPOINT(smr);  // a neutralization longjmp re-runs find
     Window w;
-    return find(smr, head, key, w);
+    if (!find(smr, head, key, w)) return false;
+    if (val_out != nullptr) *val_out = w.curr->val;
+    return true;
   }
 
-  static bool insert(Smr& smr, Node* head, uint64_t key) {
-    typename Smr::Guard g(smr);
-  retry:
-    POPSMR_CHECKPOINT(smr);
-    Window w;
-    if (find(smr, head, key, w)) return false;
+  static bool contains(Smr& smr, Node* head, uint64_t key) {
+    return get(smr, head, key, nullptr);
+  }
+
+  // Links a fresh (key, val) node into window `w` (which observed the key
+  // absent). True on success, leaving the write phase open for the
+  // Guard's end_op; false (phase exited, node destroyed) to re-find.
+  static bool try_link(Smr& smr, Window& w, uint64_t key, uint64_t val) {
     smr.enter_write_phase({w.prev, w.curr});
-    Node* n = smr.template create<Node>(key);
+    Node* n = smr.template create<Node>(key, val);
     n->next.store(w.curr, std::memory_order_relaxed);
     Node* expected = w.curr;
     if (w.prev->next.compare_exchange_strong(expected, n,
                                              std::memory_order_release,
                                              std::memory_order_relaxed)) {
-      return true;  // Guard's end_op exits the write phase
+      return true;
     }
+    smr::destroy_unpublished(n);
+    smr.exit_write_phase();
+    return false;
+  }
+
+  static bool insert(Smr& smr, Node* head, uint64_t key, uint64_t val) {
+    typename Smr::Guard g(smr);
+  retry:
+    POPSMR_CHECKPOINT(smr);
+    Window w;
+    if (find(smr, head, key, w)) return false;
+    if (!try_link(smr, w, key, val)) goto retry;
+    return true;
+  }
+
+  // Insert-or-replace. A replace marks the old node exactly like erase
+  // (so it wins or loses the key's mark against concurrent erasers /
+  // replacers — never both), then swaps prev->next from the marked node
+  // to the fresh one in one CAS: unlink + insert are atomic, and the
+  // swapper is the unique retirer of the displaced node. If a helping
+  // traversal unlinks (and retires) the marked node first, the swap CAS
+  // fails and the put falls back to a fresh insert on retry.
+  static PutResult put(Smr& smr, Node* head, uint64_t key, uint64_t val) {
+    typename Smr::Guard g(smr);
+    bool displaced = false;  // a previous iteration marked out the old value
+  retry:
+    POPSMR_CHECKPOINT(smr);
+    Window w;
+    if (!find(smr, head, key, w)) {
+      if (!try_link(smr, w, key, val)) goto retry;
+      return displaced ? PutResult::kReplaced : PutResult::kInserted;
+    }
+    smr.enter_write_phase({w.prev, w.curr, w.next});
+    // Mark the node we are displacing (same CAS as erase's logical
+    // deletion; only one marker ever wins a given node).
+    Node* expected = w.next;
+    if (!w.curr->next.compare_exchange_strong(expected,
+                                              smr::with_mark(w.next),
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+      smr.exit_write_phase();
+      goto retry;
+    }
+    displaced = true;
+    Node* n = smr.template create<Node>(key, val);
+    n->next.store(w.next, std::memory_order_relaxed);
+    Node* expc = w.curr;
+    if (w.prev->next.compare_exchange_strong(expc, n,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+      smr.retire(w.curr);  // unique retirer: the successful swapper
+      return PutResult::kReplaced;
+    }
+    // A helper unlinked (and retired) the marked node under us; the key
+    // is momentarily absent — reinsert the new value from scratch.
     smr::destroy_unpublished(n);
     smr.exit_write_phase();
     goto retry;
@@ -187,7 +260,7 @@ struct HmOps {
   }
 };
 
-// The standalone list set.
+// The standalone list map (also usable as a set via the key-only shims).
 template <class Smr>
 class HmList {
  public:
@@ -199,8 +272,13 @@ class HmList {
   }
   ~HmList() { Ops::destroy_chain(head_); }
 
+  bool get(uint64_t k, uint64_t* val_out) {
+    return Ops::get(smr_, head_, k, val_out);
+  }
+  PutResult put(uint64_t k, uint64_t v) { return Ops::put(smr_, head_, k, v); }
   bool contains(uint64_t k) { return Ops::contains(smr_, head_, k); }
-  bool insert(uint64_t k) { return Ops::insert(smr_, head_, k); }
+  bool insert(uint64_t k, uint64_t v) { return Ops::insert(smr_, head_, k, v); }
+  bool insert(uint64_t k) { return insert(k, k); }
   bool erase(uint64_t k) { return Ops::erase(smr_, head_, k); }
 
   uint64_t size_slow() const { return Ops::size_slow(head_); }

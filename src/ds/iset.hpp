@@ -1,10 +1,18 @@
-// Type-erased concurrent set interface + factory over every
+// Type-erased concurrent key-value map interface + factory over every
 // (data structure x reclamation scheme) combination in the library.
 //
-// The benchmark driver and the integration tests are written against
-// ISet so one binary can sweep the full matrix; virtual dispatch happens
-// once per *operation* (amortized over a whole traversal) so it does not
-// perturb the per-read costs the paper measures.
+// The benchmark driver, the service layer, and the integration tests are
+// written against IKV so one binary can sweep the full matrix; virtual
+// dispatch happens once per *operation* (amortized over a whole
+// traversal) so it does not perturb the per-read costs the paper
+// measures.
+//
+// IKV is the value-carrying surface (get / put / remove). The original
+// key-only set API survives as thin shims on the same interface: `ISet`
+// is an alias, `contains` is a get() that discards the value, `erase` is
+// remove(), and `insert` stays a genuine insert-if-absent virtual (it
+// must NOT be a put shim: put replaces, and a replace retires a node —
+// set-only benchmarks would silently change reclamation profile).
 #pragma once
 
 #include <atomic>
@@ -13,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "ds/kv.hpp"
 #include "smr/smr_config.hpp"
 
 namespace pop::ds {
@@ -24,12 +33,31 @@ struct SetConfig {
   smr::SmrConfig smr;
 };
 
-class ISet {
+class IKV {
  public:
-  virtual ~ISet() = default;
+  virtual ~IKV() = default;
+
+  // ---- map surface ---------------------------------------------------------
+  // Returns true iff `key` is present; when `val_out` is non-null the
+  // stored value is written through it. The value read is the one some
+  // completed put/insert published: nodes are immutable after
+  // publication, so a get never observes a torn value.
+  virtual bool get(uint64_t key, uint64_t* val_out) = 0;
+
+  // Insert-or-replace. kReplaced means an existing mapping was displaced:
+  // the structure swapped in a fresh node and retired the old one through
+  // its SMR domain (never an in-place value update — readers may still
+  // hold the old node; see kv.hpp for the retirement contract).
+  virtual PutResult put(uint64_t key, uint64_t val) = 0;
+
+  virtual bool remove(uint64_t key) = 0;
+
+  // ---- set-compat surface --------------------------------------------------
+  // Insert-if-absent with value == key; returns false (and retires
+  // nothing) when the key is already present.
   virtual bool insert(uint64_t key) = 0;
-  virtual bool erase(uint64_t key) = 0;
-  virtual bool contains(uint64_t key) = 0;
+  bool contains(uint64_t key) { return get(key, nullptr); }
+  bool erase(uint64_t key) { return remove(key); }
 
   // Called by each worker thread before it exits so reclaimers stop
   // waiting on it (and its reservations are dropped).
@@ -50,14 +78,26 @@ class ISet {
   virtual std::string smr_name() const = 0;
 };
 
+// The key-only set view is the same interface; existing callers keep
+// calling insert/erase/contains through it unchanged.
+using ISet = IKV;
+
 // Known names (factory keys, also the benchmark row labels).
 const std::vector<std::string>& all_smr_names();
 const std::vector<std::string>& all_ds_names();
 
 // Creates `ds` ("HML", "LL", "HMHT", "DGT", "ABT") under `smr` ("NR",
 // "HP", "HPAsym", "HE", "EBR", "IBR", "NBR", "BRC", "HazardPtrPOP",
-// "HazardEraPOP", "EpochPOP"). Returns nullptr for unknown names.
-std::unique_ptr<ISet> make_set(const std::string& ds, const std::string& smr,
-                               const SetConfig& cfg);
+// "HazardEraPOP", "EpochPOP"). Returns nullptr for unknown names, after
+// printing one stderr line naming the bad name and the known catalogue.
+std::unique_ptr<IKV> make_kv(const std::string& ds, const std::string& smr,
+                             const SetConfig& cfg);
+
+// Legacy name for the same factory (the set view is the same object).
+inline std::unique_ptr<ISet> make_set(const std::string& ds,
+                                      const std::string& smr,
+                                      const SetConfig& cfg) {
+  return make_kv(ds, smr, cfg);
+}
 
 }  // namespace pop::ds

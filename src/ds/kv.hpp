@@ -1,0 +1,23 @@
+// Small vocabulary shared by the value-carrying map API: the concrete
+// data-structure templates (hm_list, lazy_list, hash_table, dgt_bst,
+// ab_tree) and the type-erased IKV interface both speak it without
+// pulling each other in.
+#pragma once
+
+#include <cstdint>
+
+namespace pop::ds {
+
+// Outcome of an insert-or-replace put(). A replace never updates the
+// stored value in place: the structure swaps in a freshly allocated node
+// and retires the displaced one through its owning SMR scheme, because
+// concurrent readers may still hold the old node. This makes update-heavy
+// KV traffic a reclamation traffic class of its own (short-lived value
+// nodes freed under active readers).
+enum class PutResult : uint8_t { kInserted, kReplaced };
+
+inline const char* put_result_name(PutResult r) {
+  return r == PutResult::kReplaced ? "replaced" : "inserted";
+}
+
+}  // namespace pop::ds

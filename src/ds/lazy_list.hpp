@@ -1,14 +1,22 @@
-// Lazy list (LL) — Heller et al., OPODIS'05 — lock-based set with
+// Lazy list (LL) — Heller et al., OPODIS'05 — lock-based map with
 // wait-free-style traversals and logical deletion (Figure 2b, appendix
 // Figure 9).
 //
-// Updates lock pred (and curr for removal) and validate; removal first
-// sets curr->marked, then unlinks. Traversals are lock-free and validate
-// each hop: after protecting curr (read from pred->next), pred must still
-// be unmarked — if pred was unmarked at that check, the pred->curr edge
-// was live when the reservation was validated, which is exactly the
-// reachability HP-family schemes need. On a marked pred the traversal
-// restarts from the head.
+// Updates lock pred (and curr for removal/replacement) and validate;
+// removal first sets curr->marked, then unlinks. Traversals are
+// lock-free and validate each hop: after protecting curr (read from
+// pred->next), pred must still be unmarked — if pred was unmarked at
+// that check, the pred->curr edge was live when the reservation was
+// validated, which is exactly the reachability HP-family schemes need.
+// On a marked pred the traversal restarts from the head.
+//
+// put() on an existing key swaps in a fresh node under both locks (one
+// pointer store: atomic for readers) and retires the displaced node —
+// values are immutable after publication, never updated in place. The
+// displaced node is marked so writers re-traverse, but ALSO flagged
+// `replaced` so a reader still holding it keeps a linearizable view: the
+// key never left the list, so the stale node reads as present with its
+// old value (the read linearizes before the swap).
 //
 // Slots: 0 = pred, 1 = curr. Retire happens after both locks are
 // released so a reclaimer can never free a node whose spinlock is still
@@ -18,6 +26,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "ds/kv.hpp"
 #include "runtime/spinlock.hpp"
 #include "smr/checkpoint.hpp"
 #include "smr/domain_base.hpp"
@@ -45,15 +54,26 @@ class LazyList {
     }
   }
 
-  bool contains(uint64_t key) {
+  bool get(uint64_t key, uint64_t* val_out) {
     typename Smr::Guard g(smr_);
     POPSMR_CHECKPOINT(smr_);
     Node *pred, *curr;
     traverse(key, pred, curr);
-    return curr->key == key && !curr->marked.load(std::memory_order_acquire);
+    if (curr->key != key) return false;
+    // A marked node is absent (deleted) unless it was displaced by a
+    // replace — then the key never left the list and the stale node's
+    // immutable value is a linearizable (pre-swap) read.
+    if (curr->marked.load(std::memory_order_acquire) &&
+        !curr->replaced.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (val_out != nullptr) *val_out = curr->val;
+    return true;
   }
 
-  bool insert(uint64_t key) {
+  bool contains(uint64_t key) { return get(key, nullptr); }
+
+  bool insert(uint64_t key, uint64_t val) {
     typename Smr::Guard g(smr_);
   retry:
     POPSMR_CHECKPOINT(smr_);
@@ -66,7 +86,7 @@ class LazyList {
         pred->lock.unlock();
         return false;
       }
-      Node* n = smr_.template create<Node>(key);
+      Node* n = smr_.template create<Node>(key, val);
       n->next.store(curr, std::memory_order_relaxed);
       pred->next.store(n, std::memory_order_release);
       pred->lock.unlock();
@@ -77,6 +97,44 @@ class LazyList {
     goto retry;
   }
 
+  bool insert(uint64_t key) { return insert(key, key); }
+
+  PutResult put(uint64_t key, uint64_t val) {
+    typename Smr::Guard g(smr_);
+  retry:
+    POPSMR_CHECKPOINT(smr_);
+    Node *pred, *curr;
+    traverse(key, pred, curr);
+    smr_.enter_write_phase({pred, curr});
+    pred->lock.lock();
+    if (!validate(pred, curr)) {
+      pred->lock.unlock();
+      smr_.exit_write_phase();
+      goto retry;
+    }
+    if (curr->key != key) {
+      Node* n = smr_.template create<Node>(key, val);
+      n->next.store(curr, std::memory_order_relaxed);
+      pred->next.store(n, std::memory_order_release);
+      pred->lock.unlock();
+      return PutResult::kInserted;
+    }
+    // Replace: both locks, like removal — curr's lock keeps its next edge
+    // stable (an insert-after-curr would lock curr as its pred) while the
+    // fresh node is swapped in with one pointer store.
+    curr->lock.lock();
+    Node* n = smr_.template create<Node>(key, val);
+    n->next.store(curr->next.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    curr->replaced.store(true, std::memory_order_relaxed);
+    pred->next.store(n, std::memory_order_release);     // readers switch here
+    curr->marked.store(true, std::memory_order_release);  // writers re-traverse
+    curr->lock.unlock();
+    pred->lock.unlock();
+    smr_.retire(curr);  // after unlock: nobody touches a freed spinlock
+    return PutResult::kReplaced;
+  }
+
   bool erase(uint64_t key) {
     typename Smr::Guard g(smr_);
   retry:
@@ -84,7 +142,12 @@ class LazyList {
     Node *pred, *curr;
     traverse(key, pred, curr);
     if (curr->key != key) return false;
-    if (curr->marked.load(std::memory_order_acquire)) return false;
+    if (curr->marked.load(std::memory_order_acquire)) {
+      // Displaced by a replace: the key lives on in the replacement node,
+      // so this view is stale — re-traverse instead of reporting absent.
+      if (curr->replaced.load(std::memory_order_acquire)) goto retry;
+      return false;
+    }
     smr_.enter_write_phase({pred, curr});
     pred->lock.lock();
     curr->lock.lock();
@@ -131,11 +194,15 @@ class LazyList {
 
  private:
   struct Node : smr::Reclaimable {
-    explicit Node(uint64_t k) : key(k) {}
+    explicit Node(uint64_t k, uint64_t v = 0) : key(k), val(v) {}
     uint64_t key;
+    uint64_t val;  // immutable after publication (replace swaps nodes)
     std::atomic<Node*> next{nullptr};
     runtime::Spinlock lock;
     std::atomic<bool> marked{false};
+    // Set (before marked) when the node was displaced by a put-replace:
+    // readers treat it as still present, writers as stale.
+    std::atomic<bool> replaced{false};
   };
 
   static constexpr int kSlotPred = 0;

@@ -1,13 +1,15 @@
+#include <cstdio>
+
 #include "ds/iset.hpp"
 
 namespace pop::ds {
 
 // Implemented one-per-DS in set_factory_<ds>.cpp.
-std::unique_ptr<ISet> make_hm_list(const std::string&, const SetConfig&);
-std::unique_ptr<ISet> make_lazy_list(const std::string&, const SetConfig&);
-std::unique_ptr<ISet> make_hash_table(const std::string&, const SetConfig&);
-std::unique_ptr<ISet> make_dgt_bst(const std::string&, const SetConfig&);
-std::unique_ptr<ISet> make_ab_tree(const std::string&, const SetConfig&);
+std::unique_ptr<IKV> make_hm_list(const std::string&, const SetConfig&);
+std::unique_ptr<IKV> make_lazy_list(const std::string&, const SetConfig&);
+std::unique_ptr<IKV> make_hash_table(const std::string&, const SetConfig&);
+std::unique_ptr<IKV> make_dgt_bst(const std::string&, const SetConfig&);
+std::unique_ptr<IKV> make_ab_tree(const std::string&, const SetConfig&);
 
 const std::vector<std::string>& all_smr_names() {
   static const std::vector<std::string> names = {
@@ -22,13 +24,17 @@ const std::vector<std::string>& all_ds_names() {
   return names;
 }
 
-std::unique_ptr<ISet> make_set(const std::string& ds, const std::string& smr,
-                               const SetConfig& cfg) {
+std::unique_ptr<IKV> make_kv(const std::string& ds, const std::string& smr,
+                             const SetConfig& cfg) {
   if (ds == "HML") return make_hm_list(smr, cfg);
   if (ds == "LL") return make_lazy_list(smr, cfg);
   if (ds == "HMHT") return make_hash_table(smr, cfg);
   if (ds == "DGT") return make_dgt_bst(smr, cfg);
   if (ds == "ABT") return make_ab_tree(smr, cfg);
+  std::fprintf(stderr,
+               "popsmr: unknown data structure '%s' (known: HML, LL, HMHT, "
+               "DGT, ABT)\n",
+               ds.c_str());
   return nullptr;
 }
 

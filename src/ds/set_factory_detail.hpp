@@ -1,10 +1,11 @@
-// Internal plumbing for the ISet factory: the adapter template and the
+// Internal plumbing for the IKV factory: the adapter template and the
 // scheme-name dispatcher. Included only by the per-DS factory .cpp files
 // (one translation unit per data structure keeps rebuilds incremental).
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
@@ -16,15 +17,20 @@
 namespace pop::ds::detail {
 
 template <class DsT>
-class SetAdapter final : public ISet {
+class SetAdapter final : public IKV {
  public:
   template <class... Args>
   explicit SetAdapter(std::string ds_name, Args&&... args)
       : ds_(std::forward<Args>(args)...), ds_name_(std::move(ds_name)) {}
 
-  bool insert(uint64_t key) override { return ds_.insert(key); }
-  bool erase(uint64_t key) override { return ds_.erase(key); }
-  bool contains(uint64_t key) override { return ds_.contains(key); }
+  bool get(uint64_t key, uint64_t* val_out) override {
+    return ds_.get(key, val_out);
+  }
+  PutResult put(uint64_t key, uint64_t val) override {
+    return ds_.put(key, val);
+  }
+  bool remove(uint64_t key) override { return ds_.erase(key); }
+  bool insert(uint64_t key) override { return ds_.insert(key, key); }
   void detach_thread() override { ds_.domain().detach(); }
 
   // Safe for every scheme: the bare begin_op/end_op bracket never arms
@@ -55,9 +61,11 @@ class SetAdapter final : public ISet {
   std::string ds_name_;
 };
 
-// Calls maker.template make<Scheme>() for the scheme named `name`.
+// Calls maker.template make<Scheme>() for the scheme named `name`;
+// reports an unknown name on stderr (and returns nullptr) so a typo'd
+// benchmark flag or config fails loudly instead of as a bare null.
 template <class Maker>
-std::unique_ptr<ISet> dispatch_smr(const std::string& name, Maker&& maker) {
+std::unique_ptr<IKV> dispatch_smr(const std::string& name, Maker&& maker) {
   if (name == "NR") return maker.template make<smr::NrDomain>();
   if (name == "HP") return maker.template make<smr::HpDomain>();
   if (name == "HPAsym") return maker.template make<smr::HpAsymDomain>();
@@ -73,6 +81,10 @@ std::unique_ptr<ISet> dispatch_smr(const std::string& name, Maker&& maker) {
     return maker.template make<core::HazardEraPopDomain>();
   }
   if (name == "EpochPOP") return maker.template make<core::EpochPopDomain>();
+  std::fprintf(stderr,
+               "popsmr: unknown SMR scheme '%s' (known: NR, HP, HPAsym, HE, "
+               "EBR, IBR, NBR, BRC, EpochPOP, HazardEraPOP, HazardPtrPOP)\n",
+               name.c_str());
   return nullptr;
 }
 

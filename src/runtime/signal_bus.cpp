@@ -22,6 +22,12 @@ struct ClientTable {
 
 thread_local ClientTable t_clients;
 
+// Two flags close the install race: `g_handler_claim` elects the single
+// installing thread; `g_handler_installed` flips only after sigaction
+// returned. A thread that loses the claim must WAIT for the flip —
+// otherwise it can attach, retire, and ping the still-installing thread
+// while SIGUSR1 has the default (terminate) disposition.
+std::atomic<bool> g_handler_claim{false};
 std::atomic<bool> g_handler_installed{false};
 
 }  // namespace
@@ -58,7 +64,7 @@ void SignalBus::attach(SignalClient* c) {
   // A client is only reachable if the thread is registered: broadcasts
   // iterate the registry.
   (void)ThreadRegistry::instance().my_tid();
-  if (!g_handler_installed.exchange(true, std::memory_order_acq_rel)) {
+  if (!g_handler_claim.exchange(true, std::memory_order_acq_rel)) {
     struct sigaction sa = {};
     sa.sa_handler = &SignalBus::handler;
     sigemptyset(&sa.sa_mask);
@@ -66,6 +72,11 @@ void SignalBus::attach(SignalClient* c) {
     if (sigaction(kPingSignal, &sa, nullptr) != 0) {
       std::perror("popsmr: sigaction");
       std::abort();
+    }
+    g_handler_installed.store(true, std::memory_order_release);
+  } else {
+    while (!g_handler_installed.load(std::memory_order_acquire)) {
+      // One-time, few-instruction window; spinning is fine.
     }
   }
   for (auto& slot : t_clients.slots) {

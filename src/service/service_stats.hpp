@@ -14,9 +14,16 @@ namespace pop::service {
 
 struct ShardStats {
   int shard = 0;
-  // Operations routed to this shard since construction (insert + erase +
-  // contains), counted at the routing layer.
+  // Operations routed to this shard since construction (get + put +
+  // insert + remove), counted at the routing layer.
   uint64_t ops = 0;
+  // KV outcome breakdown, also counted at the routing layer: lookup hit
+  // ratio and the insert/replace split of put traffic (each put_replace
+  // retired one displaced node in this shard's domain).
+  uint64_t get_hits = 0;
+  uint64_t get_misses = 0;
+  uint64_t put_inserts = 0;
+  uint64_t put_replaces = 0;
   smr::StatsSnapshot smr;  // the shard's own domain counters
 };
 
@@ -24,6 +31,10 @@ struct ServiceStats {
   std::vector<ShardStats> shards;
   smr::StatsSnapshot smr;  // roll-up across all shards
   uint64_t ops_total = 0;
+  uint64_t get_hits_total = 0;
+  uint64_t get_misses_total = 0;
+  uint64_t put_inserts_total = 0;
+  uint64_t put_replaces_total = 0;
   // Process-wide pool occupancy at snapshot time (the pool is shared by
   // every shard's domain, so blocks are not separable per shard).
   uint64_t pool_live_blocks = 0;

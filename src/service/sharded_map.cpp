@@ -20,14 +20,16 @@ uint64_t mix_key(uint64_t key) {
 
 }  // namespace
 
-ShardedMap::ShardedMap(std::vector<std::unique_ptr<ds::ISet>> shards,
+ShardedMap::ShardedMap(std::vector<std::unique_ptr<ds::IKV>> shards,
                        ShardHash hash)
     : shards_(std::move(shards)),
       // One row of counters per registry tid, strided to a whole number
-      // of cache lines (8 u64s) so no two threads' rows share a line.
+      // of cache lines so no two threads' rows share a line (stride is in
+      // shards; each shard cell is kLanes u64s, and 8 shards x 5 lanes =
+      // 40 u64s = 5 full lines).
       ops_stride_((shards_.size() + 7) / 8 * 8),
       ops_(new std::atomic<uint64_t>[static_cast<std::size_t>(
-          runtime::kMaxThreads) * ops_stride_]()),
+          runtime::kMaxThreads) * ops_stride_ * kLanes]()),
       hash_(hash) {}
 
 std::unique_ptr<ShardedMap> ShardedMap::create(const std::string& ds,
@@ -37,11 +39,11 @@ std::unique_ptr<ShardedMap> ShardedMap::create(const std::string& ds,
   ds::SetConfig per_shard = cfg.set;
   per_shard.capacity =
       std::max<uint64_t>(64, cfg.set.capacity / static_cast<uint64_t>(n));
-  std::vector<std::unique_ptr<ds::ISet>> shards;
+  std::vector<std::unique_ptr<ds::IKV>> shards;
   shards.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    auto s = ds::make_set(ds, smr, per_shard);
-    if (s == nullptr) return nullptr;
+    auto s = ds::make_kv(ds, smr, per_shard);
+    if (s == nullptr) return nullptr;  // make_kv named the bad name already
     shards.push_back(std::move(s));
   }
   return std::unique_ptr<ShardedMap>(
@@ -71,19 +73,43 @@ uint64_t ShardedMap::size_slow() const {
   return n;
 }
 
+void ShardedMap::sum_lanes(std::size_t shard, uint64_t (&lanes)[kLanes]) const {
+  // One pass over the counter rows, all lanes at once, bounded by the
+  // registry's high-water tid — slots past it were never written (the
+  // mem-timeline sampler snapshots at cadence, so this runs on a timer).
+  for (int l = 0; l < kLanes; ++l) lanes[l] = 0;
+  const int hi = runtime::ThreadRegistry::instance().max_tid();
+  for (int t = 0; t <= hi; ++t) {
+    const std::size_t row =
+        (static_cast<std::size_t>(t) * ops_stride_ + shard) * kLanes;
+    for (int l = 0; l < kLanes; ++l) {
+      lanes[l] += ops_[row + static_cast<std::size_t>(l)].load(
+          std::memory_order_relaxed);
+    }
+  }
+}
+
 ServiceStats ShardedMap::service_stats() const {
   ServiceStats out;
   out.shards.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
     ShardStats ss;
     ss.shard = static_cast<int>(i);
-    for (int t = 0; t < runtime::kMaxThreads; ++t) {
-      ss.ops += ops_[static_cast<std::size_t>(t) * ops_stride_ + i].load(
-          std::memory_order_relaxed);
-    }
+    uint64_t lanes[kLanes];
+    sum_lanes(i, lanes);
+    ss.get_hits = lanes[kLaneGetHit];
+    ss.get_misses = lanes[kLaneGetMiss];
+    ss.put_inserts = lanes[kLanePutInsert];
+    ss.put_replaces = lanes[kLanePutReplace];
+    ss.ops = lanes[kLaneOther] + ss.get_hits + ss.get_misses +
+             ss.put_inserts + ss.put_replaces;
     ss.smr = shards_[i]->smr_stats();
     out.smr.absorb(ss.smr);
     out.ops_total += ss.ops;
+    out.get_hits_total += ss.get_hits;
+    out.get_misses_total += ss.get_misses;
+    out.put_inserts_total += ss.put_inserts;
+    out.put_replaces_total += ss.put_replaces;
     out.shards.push_back(std::move(ss));
   }
   const auto ps = runtime::PoolAllocator::instance().stats();
@@ -93,11 +119,11 @@ ServiceStats ShardedMap::service_stats() const {
   return out;
 }
 
-std::unique_ptr<ds::ISet> make_service_set(const std::string& ds,
-                                           const std::string& smr,
-                                           const ds::SetConfig& cfg,
-                                           int shards, ShardHash hash) {
-  if (shards <= 1) return ds::make_set(ds, smr, cfg);
+std::unique_ptr<ds::IKV> make_service_set(const std::string& ds,
+                                          const std::string& smr,
+                                          const ds::SetConfig& cfg,
+                                          int shards, ShardHash hash) {
+  if (shards <= 1) return ds::make_kv(ds, smr, cfg);
   ShardedMapConfig sc;
   sc.shards = shards;
   sc.hash = hash;

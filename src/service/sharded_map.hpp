@@ -11,8 +11,10 @@
 // Sharding splits domain-level contention — retire lists, wave
 // membership, epoch advances — N ways, which is what lets throughput
 // rise with shard count once a single domain saturates. ShardedMap is
-// itself an ISet, so the scenario engine, benchmarks, and tests can run
-// it anywhere a monolithic set runs.
+// itself an IKV (and therefore an ISet), so the scenario engine,
+// benchmarks, and tests can run it anywhere a monolithic map runs; the
+// routing layer additionally tracks get hit/miss and put insert/replace
+// outcomes per shard.
 #pragma once
 
 #include <atomic>
@@ -41,29 +43,37 @@ struct ShardedMapConfig {
   ds::SetConfig set;
 };
 
-class ShardedMap final : public ds::ISet {
+class ShardedMap final : public ds::IKV {
  public:
-  // Builds `shards` independent (ds, smr) sets; nullptr on unknown names
-  // (mirrors ds::make_set).
+  // Builds `shards` independent (ds, smr) maps; nullptr on unknown names
+  // (ds::make_kv reports which name was bad on stderr).
   static std::unique_ptr<ShardedMap> create(const std::string& ds,
                                             const std::string& smr,
                                             const ShardedMapConfig& cfg);
 
-  // ---- ISet: operations route by shard_of(key) ---------------------------
+  // ---- IKV: operations route by shard_of(key) ----------------------------
+  bool get(uint64_t key, uint64_t* val_out) override {
+    const int s = shard_of(key);
+    const bool hit = shards_[s]->get(key, val_out);
+    count_op(s, hit ? kLaneGetHit : kLaneGetMiss);
+    return hit;
+  }
+  ds::PutResult put(uint64_t key, uint64_t val) override {
+    const int s = shard_of(key);
+    const ds::PutResult r = shards_[s]->put(key, val);
+    count_op(s, r == ds::PutResult::kReplaced ? kLanePutReplace
+                                              : kLanePutInsert);
+    return r;
+  }
+  bool remove(uint64_t key) override {
+    const int s = shard_of(key);
+    count_op(s, kLaneOther);
+    return shards_[s]->remove(key);
+  }
   bool insert(uint64_t key) override {
     const int s = shard_of(key);
-    count_op(s);
+    count_op(s, kLaneOther);
     return shards_[s]->insert(key);
-  }
-  bool erase(uint64_t key) override {
-    const int s = shard_of(key);
-    count_op(s);
-    return shards_[s]->erase(key);
-  }
-  bool contains(uint64_t key) override {
-    const int s = shard_of(key);
-    count_op(s);
-    return shards_[s]->contains(key);
   }
 
   // Detaches the calling thread from *every* shard's domain. Detaching
@@ -97,34 +107,49 @@ class ShardedMap final : public ds::ISet {
   ServiceStats service_stats() const;
 
  private:
-  ShardedMap(std::vector<std::unique_ptr<ds::ISet>> shards, ShardHash hash);
+  // One counter lane per routed-op outcome; a shard's total ops is the
+  // sum over lanes, so every operation costs exactly one increment.
+  enum Lane : int {
+    kLaneOther = 0,      // insert / remove
+    kLaneGetHit = 1,
+    kLaneGetMiss = 2,
+    kLanePutInsert = 3,
+    kLanePutReplace = 4,
+    kLanes = 5,
+  };
 
-  // Per-(thread, shard) counter: each cell is written only by its owning
-  // thread (the relaxed load+store pair compiles to a plain increment),
-  // so routing adds no shared-line write — a shared per-shard counter
-  // would ping-pong its cache line between every core hitting a hot
-  // shard and skew the very scaling the layer exists to measure. Rows
-  // are cacheline-multiple strided so threads never share a line.
-  void count_op(int s) {
-    auto& c = ops_[static_cast<std::size_t>(runtime::my_tid()) * ops_stride_ +
-                   static_cast<std::size_t>(s)];
+  ShardedMap(std::vector<std::unique_ptr<ds::IKV>> shards, ShardHash hash);
+
+  // Per-(thread, shard, lane) counter: each cell is written only by its
+  // owning thread (the relaxed load+store pair compiles to a plain
+  // increment), so routing adds no shared-line write — a shared per-shard
+  // counter would ping-pong its cache line between every core hitting a
+  // hot shard and skew the very scaling the layer exists to measure.
+  // Rows are cacheline-multiple strided so threads never share a line.
+  void count_op(int s, Lane lane) {
+    auto& c = ops_[(static_cast<std::size_t>(runtime::my_tid()) * ops_stride_ +
+                    static_cast<std::size_t>(s)) * kLanes +
+                   static_cast<std::size_t>(lane)];
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
   }
 
-  std::vector<std::unique_ptr<ds::ISet>> shards_;
-  std::size_t ops_stride_;  // shards rounded up to a cache line of u64s
+  void sum_lanes(std::size_t shard, uint64_t (&lanes)[kLanes]) const;
+
+  std::vector<std::unique_ptr<ds::IKV>> shards_;
+  std::size_t ops_stride_;  // shards rounded up so rows are line-aligned
   std::unique_ptr<std::atomic<uint64_t>[]> ops_;
   ShardHash hash_;
 };
 
-// Service-aware set factory: a ShardedMap for shards > 1, the plain
-// monolithic set for shards <= 1 (zero routing overhead when the axis is
-// off). nullptr on unknown ds/smr names.
-std::unique_ptr<ds::ISet> make_service_set(const std::string& ds,
-                                           const std::string& smr,
-                                           const ds::SetConfig& cfg,
-                                           int shards,
-                                           ShardHash hash = ShardHash::kSplitMix64);
+// Service-aware map factory: a ShardedMap for shards > 1, the plain
+// monolithic map for shards <= 1 (zero routing overhead when the axis is
+// off). nullptr on unknown ds/smr names (reported on stderr by the
+// underlying factory).
+std::unique_ptr<ds::IKV> make_service_set(const std::string& ds,
+                                          const std::string& smr,
+                                          const ds::SetConfig& cfg,
+                                          int shards,
+                                          ShardHash hash = ShardHash::kSplitMix64);
 
 // Parses a shard-hash name ("splitmix" | "modulo"); returns true and
 // writes `out` on success.

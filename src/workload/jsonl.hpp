@@ -24,13 +24,18 @@ inline void emit_shard_rows(std::FILE* f, const ScenarioSpec& spec,
         "{\"kind\":\"shard\",\"scenario\":\"%s\",\"ds\":\"%s\","
         "\"smr\":\"%s\",\"threads\":%d,\"shards\":%d,\"shard\":%d,"
         "\"ops\":%llu,\"retired\":%llu,\"freed\":%llu,"
-        "\"unreclaimed\":%llu,\"signals_sent\":%llu}\n",
+        "\"unreclaimed\":%llu,\"signals_sent\":%llu,\"get_hits\":%llu,"
+        "\"get_misses\":%llu,\"put_inserts\":%llu,\"put_replaces\":%llu}\n",
         spec.name.c_str(), spec.ds.c_str(), spec.smr.c_str(), spec.threads,
         spec.shards, s.shard, static_cast<unsigned long long>(s.ops),
         static_cast<unsigned long long>(s.smr.retired),
         static_cast<unsigned long long>(s.smr.freed),
         static_cast<unsigned long long>(s.smr.unreclaimed()),
-        static_cast<unsigned long long>(s.smr.signals_sent));
+        static_cast<unsigned long long>(s.smr.signals_sent),
+        static_cast<unsigned long long>(s.get_hits),
+        static_cast<unsigned long long>(s.get_misses),
+        static_cast<unsigned long long>(s.put_inserts),
+        static_cast<unsigned long long>(s.put_replaces));
   }
 }
 
@@ -53,7 +58,9 @@ inline void emit_scenario_jsonl(const std::string& path,
       "\"signals_sent\":%llu,\"vm_hwm_kib\":%llu,\"churn_cycles\":%llu,"
       "\"baseline_unreclaimed\":%llu,\"stall_peak_unreclaimed\":%llu,"
       "\"final_unreclaimed\":%llu,\"stall_parked_at_ms\":%llu,"
-      "\"stall_resumed_at_ms\":%llu}\n",
+      "\"stall_resumed_at_ms\":%llu,\"gets\":%llu,\"get_hits\":%llu,"
+      "\"inserts\":%llu,\"erases\":%llu,\"puts\":%llu,"
+      "\"put_replaced\":%llu,\"rw_violations\":%llu}\n",
       nm, ds, smr, spec.threads, spec.shards, r.seconds, r.mops, r.read_mops,
       static_cast<unsigned long long>(r.smr.retired),
       static_cast<unsigned long long>(r.smr.freed),
@@ -64,7 +71,14 @@ inline void emit_scenario_jsonl(const std::string& path,
       static_cast<unsigned long long>(r.stall_peak_unreclaimed),
       static_cast<unsigned long long>(r.final_unreclaimed),
       static_cast<unsigned long long>(r.stall_parked_at_ms),
-      static_cast<unsigned long long>(r.stall_resumed_at_ms));
+      static_cast<unsigned long long>(r.stall_resumed_at_ms),
+      static_cast<unsigned long long>(r.gets),
+      static_cast<unsigned long long>(r.get_hits),
+      static_cast<unsigned long long>(r.inserts),
+      static_cast<unsigned long long>(r.erases),
+      static_cast<unsigned long long>(r.puts),
+      static_cast<unsigned long long>(r.put_replaced),
+      static_cast<unsigned long long>(r.rw_violations));
 
   for (size_t i = 0; i < r.phases.size(); ++i) {
     const PhaseResult& p = r.phases[i];
@@ -75,7 +89,9 @@ inline void emit_scenario_jsonl(const std::string& path,
         "\"seconds\":%.6f,\"mops\":%.6f,\"read_mops\":%.6f,"
         "\"retired\":%llu,\"freed\":%llu,\"signals_sent\":%llu,"
         "\"pings\":%llu,\"neutralized\":%llu,\"max_retire_len\":%llu,"
-        "\"unreclaimed_end\":%llu}\n",
+        "\"unreclaimed_end\":%llu,\"gets\":%llu,\"get_hits\":%llu,"
+        "\"inserts\":%llu,\"erases\":%llu,\"puts\":%llu,"
+        "\"put_replaced\":%llu,\"rw_violations\":%llu}\n",
         nm, ds, smr, p.name.c_str(), i, p.threads, p.seconds, p.mops,
         p.read_mops, static_cast<unsigned long long>(p.smr_delta.retired),
         static_cast<unsigned long long>(p.smr_delta.freed),
@@ -83,7 +99,14 @@ inline void emit_scenario_jsonl(const std::string& path,
         static_cast<unsigned long long>(p.smr_delta.pings_received),
         static_cast<unsigned long long>(p.smr_delta.neutralized),
         static_cast<unsigned long long>(p.smr_delta.max_retire_len),
-        static_cast<unsigned long long>(p.unreclaimed_end));
+        static_cast<unsigned long long>(p.unreclaimed_end),
+        static_cast<unsigned long long>(p.gets),
+        static_cast<unsigned long long>(p.get_hits),
+        static_cast<unsigned long long>(p.inserts),
+        static_cast<unsigned long long>(p.erases),
+        static_cast<unsigned long long>(p.puts),
+        static_cast<unsigned long long>(p.put_replaced),
+        static_cast<unsigned long long>(p.rw_violations));
   }
 
   for (const MemSample& m : r.samples) {
@@ -103,6 +126,42 @@ inline void emit_scenario_jsonl(const std::string& path,
         m.victim_parked ? 1 : 0);
   }
 
+  emit_shard_rows(f, spec, r);
+  std::fclose(f);
+}
+
+// One "kv" summary row per bench_kv cell: the cell identity (including
+// the put ratio being swept), throughput, the per-op outcome breakdown,
+// and the leak-balance signals (final_unreclaimed; per-shard rows follow
+// when the cell ran sharded).
+inline void emit_kv_jsonl(const std::string& path, const ScenarioSpec& spec,
+                          uint32_t pct_put, const ScenarioResult& r) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  std::fprintf(
+      f,
+      "{\"kind\":\"kv\",\"scenario\":\"%s\",\"ds\":\"%s\",\"smr\":\"%s\","
+      "\"threads\":%d,\"shards\":%d,\"pct_put\":%u,\"seconds\":%.6f,"
+      "\"mops\":%.6f,\"read_mops\":%.6f,\"gets\":%llu,\"get_hits\":%llu,"
+      "\"inserts\":%llu,\"erases\":%llu,\"puts\":%llu,\"put_replaced\":%llu,"
+      "\"rw_violations\":%llu,\"retired\":%llu,\"freed\":%llu,"
+      "\"signals_sent\":%llu,\"final_unreclaimed\":%llu,"
+      "\"vm_hwm_kib\":%llu}\n",
+      spec.name.c_str(), spec.ds.c_str(), spec.smr.c_str(), spec.threads,
+      spec.shards, pct_put, r.seconds, r.mops, r.read_mops,
+      static_cast<unsigned long long>(r.gets),
+      static_cast<unsigned long long>(r.get_hits),
+      static_cast<unsigned long long>(r.inserts),
+      static_cast<unsigned long long>(r.erases),
+      static_cast<unsigned long long>(r.puts),
+      static_cast<unsigned long long>(r.put_replaced),
+      static_cast<unsigned long long>(r.rw_violations),
+      static_cast<unsigned long long>(r.smr.retired),
+      static_cast<unsigned long long>(r.smr.freed),
+      static_cast<unsigned long long>(r.smr.signals_sent),
+      static_cast<unsigned long long>(r.final_unreclaimed),
+      static_cast<unsigned long long>(r.vm_hwm_kib));
   emit_shard_rows(f, spec, r);
   std::fclose(f);
 }

@@ -101,6 +101,38 @@ std::vector<std::string> normalize(ScenarioSpec& spec) {
            p.name.c_str(), p.pct_insert, p.pct_erase, 100 - p.pct_insert);
       p.pct_erase = 100 - p.pct_insert;
     }
+    if (p.pct_insert + p.pct_erase + p.pct_put > 100) {
+      warn(w, "phase '%s': pct_insert %u + pct_erase %u + pct_put %u > 100: "
+              "pct_put clamped to %u",
+           p.name.c_str(), p.pct_insert, p.pct_erase, p.pct_put,
+           100 - p.pct_insert - p.pct_erase);
+      p.pct_put = 100 - p.pct_insert - p.pct_erase;
+    }
+    if (p.read_your_writes && p.split_readers_writers) {
+      warn(w, "phase '%s': read_your_writes is incompatible with "
+              "split_readers_writers (roles share keys): validation off",
+           p.name.c_str());
+      p.read_your_writes = false;
+    }
+    if (p.read_your_writes &&
+        spec.key_range < static_cast<uint64_t>(p.threads)) {
+      warn(w, "phase '%s': read_your_writes needs key_range >= threads for "
+              "worker-private key stripes: validation off",
+           p.name.c_str());
+      p.read_your_writes = false;
+    }
+    // The checker keeps a dense per-worker ledger of key_range u64s;
+    // beyond this bound that is gigabytes per worker, not validation.
+    constexpr uint64_t kMaxRwKeyRange = 1ull << 22;
+    if (p.read_your_writes && spec.key_range > kMaxRwKeyRange) {
+      warn(w, "phase '%s': read_your_writes over key_range %llu would "
+              "allocate a %llu MiB ledger per worker: validation off "
+              "(max key_range %llu)",
+           p.name.c_str(), static_cast<unsigned long long>(spec.key_range),
+           static_cast<unsigned long long>(spec.key_range * 8 >> 20),
+           static_cast<unsigned long long>(kMaxRwKeyRange));
+      p.read_your_writes = false;
+    }
     if (p.writer_key_range == 0) p.writer_key_range = 1;
     if (p.writer_key_range > spec.key_range) {
       warn(w, "phase '%s': writer_key_range clamped to key_range",
@@ -131,6 +163,27 @@ std::vector<std::string> normalize(ScenarioSpec& spec) {
         warn(w, "phase '%s': hot_op_pct %u > 100: clamped", p.name.c_str(),
              k.hot_op_pct);
         k.hot_op_pct = 100;
+      }
+    }
+  }
+
+  // Read-your-writes keys are striped by (key mod active threads), so
+  // the stripe map must be identical for every phase — otherwise a key
+  // can migrate between workers at a phase boundary and a stale ledger
+  // reports a false violation. Require a uniform all-RW schedule.
+  {
+    bool any_rw = false;
+    for (const auto& p : spec.phases) any_rw |= p.read_your_writes;
+    if (any_rw) {
+      bool uniform = true;
+      for (const auto& p : spec.phases) {
+        uniform &= p.read_your_writes && p.threads == spec.phases[0].threads;
+      }
+      if (!uniform) {
+        warn(w, "read_your_writes requires every phase to validate with the "
+                "same thread count (worker-private key stripes must not "
+                "move): validation off");
+        for (auto& p : spec.phases) p.read_your_writes = false;
       }
     }
   }

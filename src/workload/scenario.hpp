@@ -23,6 +23,7 @@
 
 #include "service/service_stats.hpp"
 #include "smr/smr_config.hpp"
+#include "workload/op_mix.hpp"
 
 namespace pop::workload {
 
@@ -40,12 +41,19 @@ struct KeyDistSpec {
   uint64_t hot_move_every_ms = 0;
 };
 
-struct PhaseSpec {
+// The op mix (pct_insert / pct_erase / pct_put, remainder get) is the
+// shared OpMix base — the same struct the bench driver's WorkloadConfig
+// embeds.
+struct PhaseSpec : OpMix {
   std::string name = "main";
   uint64_t duration_ms = 100;
-  // Operation mix in percent; the remainder is contains().
-  uint32_t pct_insert = 25;
-  uint32_t pct_erase = 25;
+  // Read-your-writes validation mode: workers confine themselves to
+  // worker-private key stripes (key % active_threads == slot) and check
+  // after every put/remove that an immediate get returns exactly the
+  // value just written (or a miss after remove); a mismatch counts into
+  // OpCounts::rw_violations. Turns the phase into a per-key
+  // linearizability checker for the put-replace retire path.
+  bool read_your_writes = false;
   // Active worker count this phase; 0 inherits ScenarioSpec::threads.
   // Slots beyond the active count idle (they stay registered but run no
   // operations), so a burst phase can oversubscribe and a drain phase can
@@ -127,13 +135,12 @@ struct MemSample {
   uint64_t unreclaimed() const { return freed > retired ? 0 : retired - freed; }
 };
 
-struct PhaseResult {
+// Per-op counters (ops/reads/updates plus the KV breakdown) come from
+// the shared OpCounts base.
+struct PhaseResult : OpCounts {
   std::string name;
   int threads = 0;
   double seconds = 0;
-  uint64_t ops = 0;
-  uint64_t reads = 0;
-  uint64_t updates = 0;
   double mops = 0;
   double read_mops = 0;
   // Scheme counters accrued during this phase (end minus start snapshot;
@@ -142,14 +149,11 @@ struct PhaseResult {
   uint64_t unreclaimed_end = 0;
 };
 
-struct ScenarioResult {
+// Whole-run aggregates; the OpCounts base replaces the old
+// ops_total/reads_total/updates_total trio (ops == the old ops_total).
+struct ScenarioResult : OpCounts {
   std::vector<PhaseResult> phases;
   std::vector<MemSample> samples;
-  // Aggregates over the whole run (same meaning as the legacy
-  // WorkloadResult fields).
-  uint64_t ops_total = 0;
-  uint64_t reads_total = 0;
-  uint64_t updates_total = 0;
   double mops = 0;
   double read_mops = 0;
   double seconds = 0;

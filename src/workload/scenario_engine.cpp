@@ -23,10 +23,11 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-struct Counters {
-  uint64_t reads = 0;
-  uint64_t updates = 0;
-};
+// Read-your-writes ledger states (values a worker knows it wrote use the
+// remaining space; both sentinels are unreachable as real values because
+// workers tag puts with a nonzero high byte below kRwAbsent's).
+constexpr uint64_t kRwUnknown = UINT64_MAX;
+constexpr uint64_t kRwAbsent = UINT64_MAX - 1;
 
 // Per-slot control word, written rarely by the coordinator and polled
 // once per operation by the owning worker (a read-mostly private line).
@@ -172,8 +173,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
   std::atomic<bool> park_release{false};
   std::atomic<bool> victim_parked{false};
   std::vector<runtime::Padded<SlotCtrl>> ctrl(max_threads);
-  std::vector<runtime::Padded<Counters>> counts(
+  std::vector<runtime::Padded<OpCounts>> counts(
       static_cast<size_t>(max_threads) * nph);
+
+  // Any phase running the read-your-writes checker makes workers keep a
+  // per-key ledger of their own writes (worker-private key stripes).
+  bool any_rw = false;
+  for (const auto& p : spec.phases) any_rw |= p.read_your_writes;
 
   auto worker_body = [&](int slot, uint64_t generation) {
     // Legacy seed for generation 0 keeps one-phase uniform runs
@@ -181,6 +187,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
     // perturb it so a recycled slot doesn't replay its predecessor.
     runtime::Xoshiro256 rng(0x9E3779B9ull * (slot + 1) + 12345 +
                             generation * 0xD1342543DE82EF95ull);
+    std::vector<uint64_t> rw_expect;
+    if (any_rw) rw_expect.assign(spec.key_range, kRwUnknown);
+    // Unique, monotonic put values: (slot, generation) salt | sequence.
+    const uint64_t val_salt = (static_cast<uint64_t>(slot + 1) << 48) |
+                              ((generation & 0xFF) << 40);
+    uint64_t val_seq = 0;
     while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
     SlotCtrl& my_ctrl = *ctrl[slot];
     for (;;) {
@@ -200,33 +212,99 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
         continue;
       }
-      Counters& my = *counts[static_cast<size_t>(slot) * nph + p];
+      OpCounts& my = *counts[static_cast<size_t>(slot) * nph + p];
+      ++my.ops;
       if (ph.split_readers_writers && slot < ph.threads / 2) {
-        // Dedicated reader (Figure 4): full-range contains only.
-        (void)set->contains(rng.next_below(spec.key_range));
+        // Dedicated reader (Figure 4): full-range gets only.
+        my.get_hits += set->get(rng.next_below(spec.key_range), nullptr);
         ++my.reads;
+        ++my.gets;
       } else if (ph.split_readers_writers) {
         // Dedicated updater near the head of the structure.
         const uint64_t k = rng.next_below(ph.writer_key_range);
         if (rng.percent(50)) {
           (void)set->insert(k);
+          ++my.inserts;
         } else {
           (void)set->erase(k);
+          ++my.erases;
         }
         ++my.updates;
       } else {
-        const uint64_t k = pickers[p].next(
+        uint64_t k = pickers[p].next(
             rng, hot_window.load(std::memory_order_relaxed));
+        const bool rw = ph.read_your_writes;
+        if (rw) {
+          // Confine the key to this worker's private stripe
+          // (k ≡ slot mod active threads) so the ledger below is the
+          // single source of truth for it.
+          const uint64_t nact = static_cast<uint64_t>(ph.threads);
+          k = k - k % nact + static_cast<uint64_t>(slot);
+          if (k >= spec.key_range) k -= nact;
+        }
         const uint64_t dice = rng.next_below(100);
+        // The ledger checks below also validate op OUTCOMES, not just the
+        // follow-up get: on a private stripe, an insert/put/remove over a
+        // key whose state the ledger knows must report the matching
+        // outcome (a put that lost its key would otherwise reinsert and
+        // read back clean, hiding the loss).
         if (dice < ph.pct_insert) {
-          (void)set->insert(k);
+          const bool inserted = set->insert(k);
+          ++my.inserts;
           ++my.updates;
+          if (rw) {
+            const uint64_t e = rw_expect[k];
+            if ((e == kRwAbsent && !inserted) ||
+                (e != kRwAbsent && e != kRwUnknown && inserted)) {
+              ++my.rw_violations;
+            }
+            if (inserted) rw_expect[k] = k;  // insert stores value == key
+          }
         } else if (dice < ph.pct_insert + ph.pct_erase) {
-          (void)set->erase(k);
+          const bool removed = set->remove(k);
+          ++my.erases;
           ++my.updates;
+          if (rw) {
+            const uint64_t e = rw_expect[k];
+            if ((e == kRwAbsent && removed) ||
+                (e != kRwAbsent && e != kRwUnknown && !removed)) {
+              ++my.rw_violations;
+            }
+            rw_expect[k] = kRwAbsent;
+            uint64_t got = 0;
+            if (set->get(k, &got)) ++my.rw_violations;
+          }
+        } else if (dice < ph.pct_insert + ph.pct_erase + ph.pct_put) {
+          const uint64_t v = val_salt | ++val_seq;
+          const ds::PutResult pr = set->put(k, v);
+          if (pr == ds::PutResult::kReplaced) ++my.put_replaced;
+          ++my.puts;
+          ++my.updates;
+          if (rw) {
+            const uint64_t e = rw_expect[k];
+            if ((e == kRwAbsent && pr != ds::PutResult::kInserted) ||
+                (e != kRwAbsent && e != kRwUnknown &&
+                 pr != ds::PutResult::kReplaced)) {
+              ++my.rw_violations;
+            }
+            rw_expect[k] = v;
+            uint64_t got = 0;
+            if (!set->get(k, &got) || got != v) ++my.rw_violations;
+          }
         } else {
-          (void)set->contains(k);
+          uint64_t got = 0;
+          const bool hit = set->get(k, &got);
+          my.get_hits += hit;
+          ++my.gets;
           ++my.reads;
+          if (rw) {
+            const uint64_t e = rw_expect[k];
+            if (hit && (e == kRwAbsent || (e != kRwUnknown && got != e))) {
+              ++my.rw_violations;
+            } else if (!hit && e != kRwAbsent && e != kRwUnknown) {
+              ++my.rw_violations;
+            }
+          }
         }
       }
     }
@@ -379,25 +457,20 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
         std::chrono::duration<double>(boundary_t[p + 1] - boundary_t[p])
             .count();
     for (int s = 0; s < max_threads; ++s) {
-      const Counters& c = *counts[static_cast<size_t>(s) * nph + p];
-      pr.reads += c.reads;
-      pr.updates += c.updates;
+      pr.accumulate(*counts[static_cast<size_t>(s) * nph + p]);
     }
-    pr.ops = pr.reads + pr.updates;
     if (pr.seconds > 0) {
       pr.mops = static_cast<double>(pr.ops) / pr.seconds / 1e6;
       pr.read_mops = static_cast<double>(pr.reads) / pr.seconds / 1e6;
     }
     pr.smr_delta = snapshot_delta(boundary[p], boundary[p + 1]);
     pr.unreclaimed_end = boundary[p + 1].unreclaimed();
-    res.reads_total += pr.reads;
-    res.updates_total += pr.updates;
+    res.accumulate(pr);
   }
-  res.ops_total = res.reads_total + res.updates_total;
   res.seconds = std::chrono::duration<double>(t_end - t0).count();
   if (res.seconds > 0) {
-    res.mops = static_cast<double>(res.ops_total) / res.seconds / 1e6;
-    res.read_mops = static_cast<double>(res.reads_total) / res.seconds / 1e6;
+    res.mops = static_cast<double>(res.ops) / res.seconds / 1e6;
+    res.read_mops = static_cast<double>(res.reads) / res.seconds / 1e6;
   }
   res.smr = set->smr_stats();
   if (sharded != nullptr) res.service = sharded->service_stats();

@@ -34,7 +34,7 @@ const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
       "uniform-mixed",  "hotspot-churn",        "moving-hotspot",
       "stall-recovery", "oversubscribed-burst", "sharded-uniform",
-      "sharded-hotspot",
+      "sharded-hotspot", "kv-update-heavy",
   };
   return names;
 }
@@ -66,6 +66,11 @@ std::string scenario_description(const std::string& name) {
   if (name == "sharded-hotspot") {
     return "sharded map under Zipfian keys: the head keys concentrate on "
            "one hot shard while the rest idle (skewed service traffic)";
+  }
+  if (name == "kv-update-heavy") {
+    return "value-carrying map traffic: a put-heavy phase (replaces retire "
+           "displaced nodes under active readers) then a get-heavy phase "
+           "over the rewritten keys";
   }
   return "";
 }
@@ -150,6 +155,22 @@ std::optional<ScenarioSpec> make_scenario(const std::string& name,
     p.keys.kind = KeyDist::kZipfian;
     p.keys.zipf_theta = 0.99;
     s.phases.push_back(p);
+    s.mem_sample_every_ms = scaled_ms(10, sc);
+    return s;
+  }
+
+  if (name == "kv-update-heavy") {
+    // Put-replace is the reclamation traffic class set workloads never
+    // exercise: most nodes die young (displaced while readers still hold
+    // them). Phase 1 rewrites values hard; phase 2 reads them back with a
+    // trickle of puts so reclamation keeps running against a get-heavy
+    // mix.
+    PhaseSpec rewrite = phase("put-heavy", 250, 5, 5, sc);
+    rewrite.pct_put = 60;
+    PhaseSpec readback = phase("get-heavy", 200, 0, 0, sc);
+    readback.pct_put = 10;
+    s.phases.push_back(rewrite);
+    s.phases.push_back(readback);
     s.mem_sample_every_ms = scaled_ms(10, sc);
     return s;
   }

@@ -1,0 +1,189 @@
+// The value-carrying map contract, across every (data structure x SMR
+// scheme) combination:
+//
+//  * differential testing against std::map under random get/put/remove
+//    sequences (single thread);
+//  * read-your-writes: get returns the value written by the latest
+//    completed put, on private key stripes under real concurrency;
+//  * the put-replace retirement contract: a replace never updates in
+//    place — it retires exactly one displaced node per replace through
+//    the owning SMR domain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ds/iset.hpp"
+#include "runtime/rng.hpp"
+#include "../support/test_util.hpp"
+
+namespace pop::ds {
+namespace {
+
+class KvSemantics
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+ protected:
+  std::unique_ptr<IKV> make(uint64_t key_range) {
+    SetConfig cfg;
+    cfg.capacity = key_range;
+    cfg.smr.retire_threshold = 8;  // reclaim constantly: stress frees
+    cfg.smr.epoch_freq = 2;
+    auto s = make_kv(std::get<0>(GetParam()), std::get<1>(GetParam()), cfg);
+    EXPECT_NE(s, nullptr);
+    return s;
+  }
+};
+
+TEST_P(KvSemantics, MatchesStdMapUnderRandomOps) {
+  constexpr uint64_t kRange = 64;  // small range: heavy key collisions
+  auto m = make(kRange);
+  std::map<uint64_t, uint64_t> ref;
+  runtime::Xoshiro256 rng(7777);
+  for (int i = 0; i < 6000; ++i) {
+    const uint64_t k = rng.next_below(kRange);
+    switch (rng.next_below(4)) {
+      case 0: {
+        const uint64_t v = rng.next();
+        const auto [it, inserted] = ref.insert_or_assign(k, v);
+        (void)it;
+        EXPECT_EQ(m->put(k, v),
+                  inserted ? PutResult::kInserted : PutResult::kReplaced)
+            << "put " << k;
+        break;
+      }
+      case 1:
+        EXPECT_EQ(m->remove(k), ref.erase(k) == 1) << "remove " << k;
+        break;
+      case 2: {
+        // Set-surface insert-if-absent stores value == key.
+        const bool inserted = m->insert(k);
+        EXPECT_EQ(inserted, ref.emplace(k, k).second) << "insert " << k;
+        break;
+      }
+      default: {
+        uint64_t got = 0;
+        const auto it = ref.find(k);
+        EXPECT_EQ(m->get(k, &got), it != ref.end()) << "get " << k;
+        if (it != ref.end()) EXPECT_EQ(got, it->second) << "get " << k;
+      }
+    }
+  }
+  EXPECT_EQ(m->size_slow(), ref.size());
+  m->detach_thread();
+}
+
+TEST_P(KvSemantics, ReadYourWritesRoundTrip) {
+  auto m = make(1024);
+  for (uint64_t k = 0; k < 128; ++k) {
+    uint64_t got = 0;
+    EXPECT_FALSE(m->get(k, &got));
+    EXPECT_EQ(m->put(k, k * 3 + 1), PutResult::kInserted);
+    ASSERT_TRUE(m->get(k, &got));
+    EXPECT_EQ(got, k * 3 + 1);
+    EXPECT_EQ(m->put(k, k * 5 + 2), PutResult::kReplaced);
+    ASSERT_TRUE(m->get(k, &got));
+    EXPECT_EQ(got, k * 5 + 2) << "get must see the latest completed put";
+    EXPECT_TRUE(m->remove(k));
+    EXPECT_FALSE(m->get(k, &got));
+    EXPECT_FALSE(m->remove(k));
+  }
+  EXPECT_EQ(m->size_slow(), 0u);
+  m->detach_thread();
+}
+
+TEST_P(KvSemantics, PutReplaceRetiresExactlyOncePerReplace) {
+  auto m = make(256);
+  ASSERT_EQ(m->put(42, 0), PutResult::kInserted);
+  const uint64_t before = m->smr_stats().retired;
+  constexpr uint64_t kReplaces = 500;
+  for (uint64_t i = 1; i <= kReplaces; ++i) {
+    ASSERT_EQ(m->put(42, i), PutResult::kReplaced);
+  }
+  const uint64_t after = m->smr_stats().retired;
+  // Single-threaded: nothing else retires, and every replace must retire
+  // the one displaced node — no more (double retire) and no less (leak).
+  EXPECT_EQ(after - before, kReplaces);
+  uint64_t got = 0;
+  ASSERT_TRUE(m->get(42, &got));
+  EXPECT_EQ(got, kReplaces);
+  m->detach_thread();
+}
+
+TEST_P(KvSemantics, ConcurrentReadYourWritesOnPrivateStripes) {
+  // Each worker owns the keys congruent to its slot, so its local ledger
+  // is the full truth for them: any get disagreeing with the latest
+  // completed local write is a genuine linearizability violation (the
+  // put-replace path serving a stale or lost value).
+  constexpr int kThreads = 4;
+  constexpr uint64_t kRange = 256;
+  auto m = make(kRange);
+  std::atomic<uint64_t> violations{0};
+  test::run_threads(kThreads, [&](int w) {
+    runtime::Xoshiro256 rng(555 + w);
+    constexpr uint64_t kUnknown = UINT64_MAX;
+    constexpr uint64_t kAbsent = UINT64_MAX - 1;
+    std::vector<uint64_t> expect(kRange, kUnknown);
+    const uint64_t salt = static_cast<uint64_t>(w + 1) << 48;
+    uint64_t seq = 0;
+    uint64_t bad = 0;
+    for (int i = 0; i < 4000; ++i) {
+      uint64_t k = rng.next_below(kRange);
+      k = k - k % kThreads + static_cast<uint64_t>(w);
+      if (k >= kRange) k -= kThreads;
+      const uint64_t dice = rng.next_below(100);
+      uint64_t got = 0;
+      if (dice < 50) {
+        const uint64_t v = salt | ++seq;
+        const PutResult pr = m->put(k, v);
+        // Outcome must match the ledger: put over a known-present key
+        // replaces, over a known-absent key inserts.
+        if ((expect[k] == kAbsent && pr != PutResult::kInserted) ||
+            (expect[k] != kAbsent && expect[k] != kUnknown &&
+             pr != PutResult::kReplaced)) {
+          ++bad;
+        }
+        expect[k] = v;
+        if (!m->get(k, &got) || got != v) ++bad;
+      } else if (dice < 70) {
+        const bool removed = m->remove(k);
+        if ((expect[k] == kAbsent && removed) ||
+            (expect[k] != kAbsent && expect[k] != kUnknown && !removed)) {
+          ++bad;
+        }
+        expect[k] = kAbsent;
+        if (m->get(k, &got)) ++bad;
+      } else {
+        const bool hit = m->get(k, &got);
+        const uint64_t e = expect[k];
+        if (hit && (e == kAbsent || (e != kUnknown && got != e))) ++bad;
+        if (!hit && e != kAbsent && e != kUnknown) ++bad;
+      }
+    }
+    violations.fetch_add(bad);
+    m->detach_thread();
+  });
+  EXPECT_EQ(violations.load(), 0u)
+      << "read-your-writes violated for " << std::get<0>(GetParam()) << "/"
+      << std::get<1>(GetParam());
+  m->detach_thread();
+}
+
+std::vector<std::tuple<std::string, std::string>> full_matrix() {
+  std::vector<std::tuple<std::string, std::string>> v;
+  for (const auto& ds : all_ds_names()) {
+    for (const auto& smr : all_smr_names()) v.emplace_back(ds, smr);
+  }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, KvSemantics, ::testing::ValuesIn(full_matrix()),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace pop::ds

@@ -5,7 +5,9 @@
 // every scheme, including the signal-driven ones.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <tuple>
 
 #include "ds/iset.hpp"
@@ -39,10 +41,14 @@ TEST_P(LeakBalance, PoolBalancesAfterTeardown) {
       for (int i = 0; i < 2500; ++i) {
         const uint64_t k = rng.next_below(128);
         const uint64_t dice = rng.next_below(100);
-        if (dice < 40) {
+        if (dice < 30) {
           s->insert(k);
-        } else if (dice < 80) {
+        } else if (dice < 60) {
           s->erase(k);
+        } else if (dice < 80) {
+          // Replaced nodes must be retired exactly once: a double retire
+          // or a skipped retire both break the balance below.
+          (void)s->put(k, rng.next());
         } else {
           (void)s->contains(k);
         }
@@ -50,7 +56,7 @@ TEST_P(LeakBalance, PoolBalancesAfterTeardown) {
       s->detach_thread();
     });
     s->detach_thread();
-  }  // ISet destroyed: live nodes freed by the DS, retired by the domain
+  }  // IKV destroyed: live nodes freed by the DS, retired by the domain
   const auto after = runtime::PoolAllocator::instance().stats();
   // Quiescence: every block allocated under this scheme was freed (the
   // batched sweep path included).
@@ -61,6 +67,69 @@ TEST_P(LeakBalance, PoolBalancesAfterTeardown) {
   // (The strict batching claim — splices < blocks on a batched remote
   // free — is asserted by PoolAlloc.FreeBatchRemoteSpliceCountsBlocksNot-
   // Operations, where the workload guarantees a multi-block group.)
+}
+
+TEST_P(LeakBalance, PutReplaceBalancesUnderChurnAndStall) {
+  // The put-replace retire path under the two lifecycle hazards the
+  // scenario engine injects: thread churn (waves of short-lived workers
+  // recycling registry tids mid-run) and a victim parked inside an
+  // operation bracket pinning its entry-time reservation. Every displaced
+  // node must still be retired exactly once and freed by teardown.
+  const auto before = runtime::PoolAllocator::instance().stats();
+  {
+    SetConfig cfg;
+    cfg.capacity = 256;
+    cfg.smr.retire_threshold = 8;
+    cfg.smr.epoch_freq = 2;
+    auto s = make_set(std::get<0>(GetParam()), std::get<1>(GetParam()), cfg);
+    ASSERT_NE(s, nullptr);
+
+    std::atomic<bool> release{false};
+    std::atomic<bool> parked{false};
+    std::thread victim([&] {
+      parked.store(true);
+      s->park_in_operation(release);
+      s->detach_thread();
+    });
+    while (!parked.load()) std::this_thread::yield();
+    // Timer-released (not released by worker progress): schemes whose
+    // reclaim blocks on in-flight readers (BRC) stall the workers until
+    // the victim resumes, so tying release to completion would deadlock.
+    std::thread timer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      release.store(true);
+    });
+
+    // Churn: three waves of workers; each wave's threads exit (recycling
+    // their tids for the next wave) while the victim stays parked for the
+    // early part of the run.
+    for (int wave = 0; wave < 3; ++wave) {
+      test::run_threads(3, [&](int w) {
+        runtime::Xoshiro256 rng(1000 * wave + w);
+        for (int i = 0; i < 1200; ++i) {
+          const uint64_t k = rng.next_below(64);
+          const uint64_t dice = rng.next_below(100);
+          if (dice < 55) {
+            (void)s->put(k, rng.next());
+          } else if (dice < 75) {
+            s->erase(k);
+          } else {
+            uint64_t v = 0;
+            (void)s->get(k, &v);
+          }
+        }
+        s->detach_thread();
+      });
+    }
+    timer.join();
+    victim.join();
+    s->detach_thread();
+  }
+  const auto after = runtime::PoolAllocator::instance().stats();
+  EXPECT_EQ(after.allocated_blocks - before.allocated_blocks,
+            after.freed_blocks - before.freed_blocks)
+      << "pool imbalance on the put-replace path under churn+stall for "
+      << std::get<0>(GetParam()) << "/" << std::get<1>(GetParam());
 }
 
 std::vector<std::tuple<std::string, std::string>> matrix() {

@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <tuple>
 
 #include "ds/iset.hpp"
@@ -37,27 +39,86 @@ TEST_P(PoisonedWorkload, HotReclamationNeverServesPoisonedNodes) {
   auto s = make_set(std::get<0>(GetParam()), std::get<1>(GetParam()), cfg);
   ASSERT_NE(s, nullptr);
 
-  std::atomic<int64_t> net{0};
   test::run_threads(4, [&](int w) {
     runtime::Xoshiro256 rng(777 + w);
     for (int i = 0; i < 3000; ++i) {
       const uint64_t k = rng.next_below(128);
       const uint64_t dice = rng.next_below(100);
-      if (dice < 35) {
-        if (s->insert(k)) net.fetch_add(1);
-      } else if (dice < 70) {
-        if (s->erase(k)) net.fetch_sub(1);
+      if (dice < 30) {
+        (void)s->insert(k);
+      } else if (dice < 60) {
+        (void)s->erase(k);
+      } else if (dice < 80) {
+        // put-replace: displaced nodes are freed while other threads may
+        // still hold them — the KV-specific premature-free hazard.
+        (void)s->put(k, rng.next());
       } else {
-        (void)s->contains(k);
+        uint64_t v = 0;
+        (void)s->get(k, &v);
       }
     }
     s->detach_thread();
   });
   // Reaching here without the allocator aborting means no double free or
-  // header corruption; the final count check catches value corruption
-  // from reads of recycled nodes.
-  ASSERT_GE(net.load(), 0);  // erases only succeed on inserted keys
-  EXPECT_EQ(s->size_slow(), static_cast<uint64_t>(net.load()));
+  // header corruption. Structural consistency check: the node count must
+  // equal the distinct-key membership recounted through the read path
+  // (no duplicates, no lost unlinks). Op-return accounting is NOT an
+  // invariant here: HML's lock-free put linearizes as delete+insert
+  // under same-key contention, so put outcomes can hide a deletion.
+  uint64_t present = 0;
+  for (uint64_t k = 0; k < 128; ++k) present += s->contains(k);
+  EXPECT_EQ(s->size_slow(), present);
+  s->detach_thread();
+}
+
+TEST_P(PoisonedWorkload, PutReplaceSafeAroundParkedVictim) {
+  // A victim thread parks inside an operation bracket (its entry-time
+  // reservation live) while the others hammer put-replace on a tiny hot
+  // key set: every replace retires a node some reader may hold, and the
+  // parked reservation forces the scheme to either defer or publish-on-
+  // ping around it. Poison mode turns any premature free into an abort.
+  SetConfig cfg;
+  cfg.capacity = 256;
+  cfg.smr.retire_threshold = 4;
+  cfg.smr.epoch_freq = 1;
+  cfg.smr.pop_multiplier = 2;
+  auto s = make_set(std::get<0>(GetParam()), std::get<1>(GetParam()), cfg);
+  ASSERT_NE(s, nullptr);
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> parked{false};
+  std::thread victim([&] {
+    parked.store(true);
+    s->park_in_operation(release);
+    s->detach_thread();
+  });
+  while (!parked.load()) std::this_thread::yield();
+  // The victim is released on a timer, never by worker progress: schemes
+  // whose reclaim path blocks on in-flight readers (BRC's grace periods)
+  // legitimately stall the workers until the victim resumes.
+  std::thread timer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    release.store(true);
+  });
+  test::run_threads(3, [&](int w) {
+    runtime::Xoshiro256 rng(99 + w);
+    for (int i = 0; i < 2500; ++i) {
+      const uint64_t k = rng.next_below(16);  // hot: constant displacement
+      const uint64_t dice = rng.next_below(100);
+      if (dice < 60) {
+        (void)s->put(k, rng.next());
+      } else if (dice < 75) {
+        (void)s->erase(k);
+      } else {
+        uint64_t v = 0;
+        (void)s->get(k, &v);
+      }
+    }
+    s->detach_thread();
+  });
+  timer.join();
+  victim.join();
+  EXPECT_LE(s->size_slow(), 16u);
   s->detach_thread();
 }
 

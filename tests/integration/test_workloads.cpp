@@ -25,7 +25,7 @@ TEST(Workloads, UpdateHeavyRunsForEveryScheme) {
     c.pct_insert = 50;
     c.pct_erase = 50;
     const auto r = run_workload(c);
-    EXPECT_GT(r.ops_total, 0u) << smr;
+    EXPECT_GT(r.ops, 0u) << smr;
     EXPECT_GT(r.mops, 0.0) << smr;
     EXPECT_LE(r.final_size, c.key_range) << smr;
   }
@@ -37,9 +37,9 @@ TEST(Workloads, ReadHeavyMixRespectsRatios) {
   c.pct_erase = 5;
   c.duration_ms = 100;
   const auto r = run_workload(c);
-  ASSERT_GT(r.ops_total, 1000u);
+  ASSERT_GT(r.ops, 1000u);
   const double read_frac =
-      static_cast<double>(r.reads_total) / static_cast<double>(r.ops_total);
+      static_cast<double>(r.reads) / static_cast<double>(r.ops);
   EXPECT_NEAR(read_frac, 0.90, 0.05);
 }
 
@@ -50,8 +50,8 @@ TEST(Workloads, SplitReadersWritersReportsReadThroughput) {
   c.key_range = 512;
   c.writer_key_range = 32;
   const auto r = run_workload(c);
-  EXPECT_GT(r.reads_total, 0u);
-  EXPECT_GT(r.updates_total, 0u);
+  EXPECT_GT(r.reads, 0u);
+  EXPECT_GT(r.updates, 0u);
   EXPECT_GT(r.read_mops, 0.0);
 }
 
@@ -96,6 +96,36 @@ TEST(Workloads, NbrNeutralizesUnderChurn) {
   const auto r = run_workload(c);
   EXPECT_GT(r.smr.neutralized, 0u)
       << "long readers must get restarted by NBR reclaimers";
+}
+
+TEST(Workloads, PutMixFlowsThroughTheDriverWrapper) {
+  // The driver's WorkloadConfig shares OpMix with PhaseSpec, so pct_put
+  // set on the legacy surface must reach the engine and report the KV
+  // breakdown back through the shared OpCounts base.
+  WorkloadConfig c = base("HMHT", "EpochPOP");
+  c.pct_insert = 5;
+  c.pct_erase = 5;
+  c.pct_put = 50;
+  const auto r = run_workload(c);
+  ASSERT_GT(r.ops, 0u);
+  EXPECT_GT(r.puts, 0u);
+  EXPECT_GT(r.put_replaced, 0u);
+  EXPECT_EQ(r.updates, r.inserts + r.erases + r.puts);
+  EXPECT_EQ(r.reads, r.gets);
+  EXPECT_GE(r.smr.retired, r.put_replaced);
+}
+
+TEST(Workloads, PctPutListHelperParses) {
+  setenv("POPSMR_BENCH_PCT_PUT", "0,10,50,90,150", 1);
+  const auto ratios = bench_pct_put_list("50");
+  ASSERT_EQ(ratios.size(), 5u);
+  EXPECT_EQ(ratios[0], 0);
+  EXPECT_EQ(ratios[3], 90);
+  EXPECT_EQ(ratios[4], 100);  // clamped
+  unsetenv("POPSMR_BENCH_PCT_PUT");
+  const auto fallback = bench_pct_put_list("0,90");
+  ASSERT_EQ(fallback.size(), 2u);
+  EXPECT_EQ(fallback[1], 90);
 }
 
 TEST(Workloads, EnvListHelpersParse) {

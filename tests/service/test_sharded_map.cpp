@@ -53,9 +53,19 @@ TEST(ShardedMap, SplitMixHashCoversEveryShard) {
   m->detach_thread();
 }
 
-TEST(ShardedMap, UnknownNamesReturnNull) {
+TEST(ShardedMap, UnknownNamesReturnNullAndSayWhichNameWasBad) {
+  // The underlying factory's one-line diagnosis must surface through the
+  // service-layer constructors too.
+  ::testing::internal::CaptureStderr();
   EXPECT_EQ(ShardedMap::create("NOPE", "EBR", small_cfg(2)), nullptr);
+  EXPECT_NE(::testing::internal::GetCapturedStderr().find(
+                "unknown data structure 'NOPE'"),
+            std::string::npos);
+  ::testing::internal::CaptureStderr();
   EXPECT_EQ(ShardedMap::create("HML", "NOPE", small_cfg(2)), nullptr);
+  EXPECT_NE(::testing::internal::GetCapturedStderr().find(
+                "unknown SMR scheme 'NOPE'"),
+            std::string::npos);
   EXPECT_EQ(make_service_set("NOPE", "EBR", ds::SetConfig{}, 4), nullptr);
   EXPECT_EQ(make_service_set("HML", "NOPE", ds::SetConfig{}, 1), nullptr);
 }
@@ -224,6 +234,82 @@ TEST(ShardedMap, ChurningThreadsMigrateBetweenShards) {
   const auto after = runtime::PoolAllocator::instance().stats();
   EXPECT_EQ(after.allocated_blocks - before.allocated_blocks,
             after.freed_blocks - before.freed_blocks);
+}
+
+TEST(ShardedMap, KvCountersTrackOutcomesPerShard) {
+  auto m = ShardedMap::create("HML", "EBR", small_cfg(4));
+  ASSERT_NE(m, nullptr);
+  // 64 fresh puts, 32 replacing puts, then 32 hits + 32 misses.
+  for (uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(m->put(k, k + 1), ds::PutResult::kInserted);
+  }
+  for (uint64_t k = 0; k < 32; ++k) {
+    EXPECT_EQ(m->put(k, k + 100), ds::PutResult::kReplaced);
+  }
+  for (uint64_t k = 0; k < 32; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(m->get(k, &v));
+    EXPECT_EQ(v, k + 100) << "get must return the latest completed put";
+  }
+  for (uint64_t k = 1000; k < 1032; ++k) {
+    EXPECT_FALSE(m->get(k, nullptr));
+  }
+  const auto stats = m->service_stats();
+  EXPECT_EQ(stats.put_inserts_total, 64u);
+  EXPECT_EQ(stats.put_replaces_total, 32u);
+  EXPECT_EQ(stats.get_hits_total, 32u);
+  EXPECT_EQ(stats.get_misses_total, 32u);
+  EXPECT_EQ(stats.ops_total, 64u + 32u + 32u + 32u);
+  // The per-shard breakdown must sum to the roll-up.
+  uint64_t hits = 0, misses = 0, pins = 0, prepl = 0;
+  for (const auto& s : stats.shards) {
+    hits += s.get_hits;
+    misses += s.get_misses;
+    pins += s.put_inserts;
+    prepl += s.put_replaces;
+  }
+  EXPECT_EQ(hits, stats.get_hits_total);
+  EXPECT_EQ(misses, stats.get_misses_total);
+  EXPECT_EQ(pins, stats.put_inserts_total);
+  EXPECT_EQ(prepl, stats.put_replaces_total);
+  // Replaces retire through the shard's own domain.
+  EXPECT_GE(stats.smr.retired, 32u);
+  m->detach_thread();
+}
+
+TEST(ShardedMap, OneShardMatchesPlainMapOperationForOperation) {
+  // The KV surface through a 1-shard map must be op-for-op identical to
+  // the plain structure (same returns, same values) — the sharded layer
+  // adds routing and counters, never semantics.
+  ds::SetConfig cfg;
+  cfg.capacity = 256;
+  cfg.smr.retire_threshold = 16;
+  auto plain = ds::make_kv("HML", "EBR", cfg);
+  ShardedMapConfig scfg = small_cfg(1);
+  scfg.set = cfg;
+  auto sharded = ShardedMap::create("HML", "EBR", scfg);
+  ASSERT_NE(plain, nullptr);
+  ASSERT_NE(sharded, nullptr);
+  runtime::Xoshiro256 rng(4242);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t k = rng.next_below(128);
+    const uint64_t dice = rng.next_below(100);
+    if (dice < 40) {
+      const uint64_t v = rng.next();
+      EXPECT_EQ(plain->put(k, v), sharded->put(k, v)) << "op " << i;
+    } else if (dice < 70) {
+      EXPECT_EQ(plain->remove(k), sharded->remove(k)) << "op " << i;
+    } else {
+      uint64_t pv = 0, sv = 0;
+      const bool ph = plain->get(k, &pv);
+      const bool sh = sharded->get(k, &sv);
+      EXPECT_EQ(ph, sh) << "op " << i;
+      if (ph && sh) EXPECT_EQ(pv, sv) << "op " << i;
+    }
+  }
+  EXPECT_EQ(plain->size_slow(), sharded->size_slow());
+  plain->detach_thread();
+  sharded->detach_thread();
 }
 
 TEST(ShardedMap, CapacitySplitsAcrossShards) {

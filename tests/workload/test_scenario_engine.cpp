@@ -25,9 +25,9 @@ TEST(ScenarioEngine, SinglePhaseAggregatesMatchPhaseRows) {
   s.phases[0].duration_ms = 60;
   const auto r = run_scenario(s);
   ASSERT_EQ(r.phases.size(), 1u);
-  EXPECT_GT(r.ops_total, 0u);
-  EXPECT_EQ(r.ops_total, r.phases[0].ops);
-  EXPECT_EQ(r.reads_total, r.phases[0].reads);
+  EXPECT_GT(r.ops, 0u);
+  EXPECT_EQ(r.ops, r.phases[0].ops);
+  EXPECT_EQ(r.reads, r.phases[0].reads);
   EXPECT_GT(r.mops, 0.0);
   EXPECT_TRUE(r.warnings.empty()) << r.warnings[0];
   EXPECT_EQ(r.churn_cycles, 0u);
@@ -55,7 +55,7 @@ TEST(ScenarioEngine, PhasePartitioningIsExact) {
   EXPECT_EQ(r.phases[0].reads, 0u);
   EXPECT_GT(r.phases[1].reads, 0u);
   EXPECT_EQ(r.phases[1].updates, 0u);
-  EXPECT_EQ(r.ops_total, r.phases[0].ops + r.phases[1].ops);
+  EXPECT_EQ(r.ops, r.phases[0].ops + r.phases[1].ops);
 }
 
 TEST(ScenarioEngine, PerPhaseThreadCountsApply) {
@@ -109,7 +109,7 @@ TEST(ScenarioEngine, ChurnCyclesWorkersAndRecyclesTids) {
   s.churn.interval_ms = 10;
   const auto r = run_scenario(s);
   EXPECT_GE(r.churn_cycles, 4u);
-  EXPECT_GT(r.ops_total, 0u);
+  EXPECT_GT(r.ops, 0u);
   // Replacements recycle deregistered slots instead of growing the
   // registry: the high-water tid stays within the static-pool footprint.
   EXPECT_LE(reg.max_tid(), max_tid_before + s.threads + 2);
@@ -122,10 +122,15 @@ TEST(ScenarioEngine, StallInjectorShowsGrowthAndRecovery) {
   ScenarioSpec s = base("HML", "EBR");
   s.threads = 3;
   s.smr_cfg.retire_threshold = 32;
+  // Frequent epoch advances so the post-resume drain tracks op progress
+  // closely rather than wall time (the drain needs ops, and a loaded
+  // 1-core machine running ctest -j gives this test few of them).
+  s.smr_cfg.epoch_freq = 8;
   for (const char* nm : {"warmup", "stalled", "recovery"}) {
     PhaseSpec p;
     p.name = nm;
-    p.duration_ms = 60;
+    // The recovery phase gets extra wall time for the same reason.
+    p.duration_ms = std::string(nm) == "recovery" ? 200 : 60;
     p.pct_insert = 40;
     p.pct_erase = 40;
     s.phases.push_back(p);
@@ -135,16 +140,29 @@ TEST(ScenarioEngine, StallInjectorShowsGrowthAndRecovery) {
   s.stall.park_after_ms = 60;
   s.stall.park_for_ms = 60;
   s.mem_sample_every_ms = 5;
-  const auto r = run_scenario(s);
-  EXPECT_GT(r.stall_peak_unreclaimed, r.baseline_unreclaimed + 200)
-      << "a parked EBR reader must pin the epoch and grow garbage";
-  EXPECT_LT(r.final_unreclaimed, r.stall_peak_unreclaimed / 2)
-      << "after resume the backlog must drain";
-  ASSERT_FALSE(r.samples.empty());
-  bool saw_parked = false;
-  for (const auto& m : r.samples) saw_parked |= m.victim_parked;
-  EXPECT_TRUE(saw_parked) << "sampler must observe the parked window";
-  EXPECT_GE(r.stall_resumed_at_ms, r.stall_parked_at_ms + 50);
+  // The growth-and-drain shape is deterministic given CPU time; getting
+  // that CPU time under ctest -j on a one-core machine is not. An
+  // attempt only counts when the coordinator actually delivered the full
+  // park window (a late wakeup shrinks it: park_at and resume_at are
+  // absolute); a starved recovery phase can likewise end mid-backlog.
+  // Retry the scenario a few times and require one clean grow-then-drain.
+  bool good = false;
+  for (int attempt = 0; attempt < 3 && !good; ++attempt) {
+    const auto r = run_scenario(s);
+    ASSERT_FALSE(r.samples.empty());
+    bool saw_parked = false;
+    for (const auto& m : r.samples) saw_parked |= m.victim_parked;
+    const bool full_window =
+        r.stall_resumed_at_ms >= r.stall_parked_at_ms + 50;
+    const bool grew =
+        r.stall_peak_unreclaimed > r.baseline_unreclaimed + 200;
+    const bool drained =
+        r.final_unreclaimed < r.stall_peak_unreclaimed / 2;
+    good = saw_parked && full_window && grew && drained;
+  }
+  EXPECT_TRUE(good)
+      << "no attempt showed the sampler-observed park window with garbage "
+         "growing while the EBR reader was parked and draining after resume";
 }
 
 TEST(ScenarioEngine, StallAgainstPopSchemeStaysBoundedAndPings) {
@@ -193,6 +211,90 @@ TEST(ScenarioEngine, MemTimelineSamplesCoverPhases) {
   }
 }
 
+TEST(ScenarioEngine, PutMixDrivesReplaceTraffic) {
+  // A put-heavy phase over a prefilled range must record puts, split them
+  // into insert/replace outcomes (mostly replaces on a dense range), and
+  // retire the displaced nodes.
+  ScenarioSpec s = base("HML", "EpochPOP");
+  s.phases.push_back(PhaseSpec{});
+  s.phases[0].duration_ms = 60;
+  s.phases[0].pct_insert = 0;
+  s.phases[0].pct_erase = 0;
+  s.phases[0].pct_put = 80;
+  const auto r = run_scenario(s);
+  EXPECT_GT(r.puts, 0u);
+  EXPECT_GT(r.put_replaced, 0u);
+  EXPECT_GT(r.gets, 0u);
+  EXPECT_EQ(r.updates, r.puts);
+  EXPECT_EQ(r.reads, r.gets);
+  EXPECT_EQ(r.ops, r.reads + r.updates);
+  // Every replace retired one displaced node.
+  EXPECT_GE(r.smr.retired, r.put_replaced);
+  EXPECT_EQ(r.rw_violations, 0u);
+}
+
+TEST(ScenarioEngine, ReadYourWritesModeValidatesCleanly) {
+  // The engine's own validation rail: private key stripes + a per-worker
+  // ledger. On a correct build no phase may record a violation — this is
+  // the acceptance check for the put-replace path under every mix.
+  for (const char* smr : {"EBR", "EpochPOP", "HazardPtrPOP", "NBR"}) {
+    ScenarioSpec s = base("HML", smr);
+    s.threads = 3;
+    s.phases.push_back(PhaseSpec{});
+    s.phases[0].duration_ms = 80;
+    s.phases[0].pct_insert = 10;
+    s.phases[0].pct_erase = 20;
+    s.phases[0].pct_put = 40;
+    s.phases[0].read_your_writes = true;
+    const auto r = run_scenario(s);
+    EXPECT_TRUE(r.warnings.empty()) << smr << ": " << r.warnings[0];
+    EXPECT_GT(r.puts, 0u);
+    EXPECT_EQ(r.rw_violations, 0u) << "read-your-writes broken under " << smr;
+  }
+}
+
+TEST(ScenarioEngine, NormalizeDisablesUnsafeReadYourWrites) {
+  // Stripes must not move between phases: mixed rw/non-rw schedules (or
+  // differing thread counts) silently invalidate the ledger, so
+  // normalize turns validation off with a warning instead.
+  ScenarioSpec s = base("HML", "EBR");
+  PhaseSpec a;
+  a.read_your_writes = true;
+  PhaseSpec b;  // not validating
+  s.phases = {a, b};
+  const auto warnings = normalize(s);
+  EXPECT_FALSE(warnings.empty());
+  EXPECT_FALSE(s.phases[0].read_your_writes);
+
+  ScenarioSpec t = base("HML", "EBR");
+  PhaseSpec c;
+  c.read_your_writes = true;
+  c.threads = 2;
+  PhaseSpec d;
+  d.read_your_writes = true;
+  d.threads = 4;  // stripe map would shift
+  t.phases = {c, d};
+  const auto warnings2 = normalize(t);
+  EXPECT_FALSE(warnings2.empty());
+  EXPECT_FALSE(t.phases[0].read_your_writes);
+  EXPECT_FALSE(t.phases[1].read_your_writes);
+}
+
+TEST(ScenarioEngine, NormalizeClampsPutMixOverflow) {
+  ScenarioSpec s = base("HML", "NR");
+  PhaseSpec p;
+  p.pct_insert = 40;
+  p.pct_erase = 40;
+  p.pct_put = 40;  // 120% total
+  s.phases.push_back(p);
+  const auto warnings = normalize(s);
+  EXPECT_FALSE(warnings.empty());
+  EXPECT_EQ(s.phases[0].pct_put, 20u);
+  EXPECT_LE(s.phases[0].pct_insert + s.phases[0].pct_erase +
+                s.phases[0].pct_put,
+            100u);
+}
+
 TEST(ScenarioEngine, NormalizeClampsInvalidSpecs) {
   ScenarioSpec s = base("HML", "NR");
   s.prefill = s.key_range * 2;  // over-asks the fill loops
@@ -232,7 +334,7 @@ TEST(ScenarioEngine, ClampedSpecStillRuns) {
   s.phases[0].pct_erase = 90;
   const auto r = run_scenario(s);
   EXPECT_FALSE(r.warnings.empty());
-  EXPECT_GT(r.ops_total, 0u);
+  EXPECT_GT(r.ops, 0u);
   // Full prefill delivered: the structure starts at key_range keys.
   EXPECT_LE(r.final_size, s.key_range);
 }

@@ -91,7 +91,7 @@ TEST(Scenarios, HotspotChurnSmokeRunCycles) {
   ASSERT_TRUE(spec.has_value());
   spec->smr_cfg.retire_threshold = 32;
   const auto r = run_scenario(*spec);
-  EXPECT_GT(r.ops_total, 0u);
+  EXPECT_GT(r.ops, 0u);
   EXPECT_GT(r.churn_cycles, 0u);
   EXPECT_FALSE(r.samples.empty());
 }
@@ -101,7 +101,10 @@ TEST(Scenarios, OversubscribedBurstSmokeRunsAllPhases) {
   b.ds = "HMHT";
   b.smr = "EpochPOP";
   b.threads = 2;
-  b.time_scale = kSmokeTimeScale;
+  // Longer phases than the other smokes: with an 8-thread burst past the
+  // core count, a ~30 ms phase can starve a worker of its first op when
+  // another suite shares the machine (ctest -j), reading as 0 phase ops.
+  b.time_scale = kSmokeTimeScale * 3.0;
   b.key_range = 512;
   auto spec = make_scenario("oversubscribed-burst", b);
   ASSERT_TRUE(spec.has_value());
@@ -110,6 +113,27 @@ TEST(Scenarios, OversubscribedBurstSmokeRunsAllPhases) {
   ASSERT_EQ(r.phases.size(), 3u);
   EXPECT_EQ(r.phases[0].threads, 8);  // 4x burst
   for (const auto& p : r.phases) EXPECT_GT(p.ops, 0u) << p.name;
+}
+
+TEST(Scenarios, KvUpdateHeavySmokeDrivesReplaceTraffic) {
+  ScenarioBuild b;
+  b.ds = "HML";
+  b.smr = "EpochPOP";
+  b.threads = 2;
+  b.time_scale = kSmokeTimeScale;
+  b.key_range = 256;
+  auto spec = make_scenario("kv-update-heavy", b);
+  ASSERT_TRUE(spec.has_value());
+  spec->smr_cfg.retire_threshold = 32;
+  const auto r = run_scenario(*spec);
+  ASSERT_EQ(r.phases.size(), 2u);
+  EXPECT_GT(r.phases[0].puts, 0u) << "put-heavy phase records put traffic";
+  EXPECT_GT(r.phases[0].put_replaced, 0u)
+      << "a prefilled range makes most puts replaces";
+  EXPECT_GT(r.phases[1].gets, 0u) << "get-heavy phase reads values back";
+  // Displaced nodes flow through the domain: at least one per replace.
+  EXPECT_GE(r.smr.retired, r.put_replaced);
+  EXPECT_EQ(r.rw_violations, 0u);
 }
 
 }  // namespace

@@ -4,8 +4,8 @@
 Every bench binary appends JSON Lines to POPSMR_BENCH_JSON. Three row
 families exist:
 
-  * kind-tagged rows (bench_scenarios / bench_sharded): "scenario",
-    "phase", "mem_sample", "sharded", "shard"
+  * kind-tagged rows (bench_scenarios / bench_sharded / bench_kv):
+    "scenario", "phase", "mem_sample", "sharded", "shard", "kv"
   * micro rows ("bench": "...") from the microbenchmarks
   * legacy figure rows (no tag) from print_row: ds/smr/threads/mops/...
 
@@ -30,6 +30,15 @@ import sys
 # (json.loads would have produced float('nan') from bare NaN, which the
 # emitters never write — reject them anyway).
 NUM = (int, float)
+
+# Per-op outcome breakdown shared by every row family that reports a run
+# of the KV workload loop (get hit ratio, put insert/replace split, and
+# the read-your-writes validation verdict).
+PER_OP = {
+    "gets": int, "get_hits": int, "inserts": int, "erases": int,
+    "puts": int, "put_replaced": int, "rw_violations": int,
+}
+
 SCHEMAS = {
     "scenario": {
         "scenario": str, "ds": str, "smr": str, "threads": int,
@@ -37,13 +46,21 @@ SCHEMAS = {
         "retired": int, "freed": int, "signals_sent": int,
         "vm_hwm_kib": int, "churn_cycles": int,
         "baseline_unreclaimed": int, "stall_peak_unreclaimed": int,
-        "final_unreclaimed": int,
+        "final_unreclaimed": int, **PER_OP,
     },
     "phase": {
         "scenario": str, "ds": str, "smr": str, "phase": str, "idx": int,
         "threads": int, "seconds": NUM, "mops": NUM, "read_mops": NUM,
         "retired": int, "freed": int, "signals_sent": int, "pings": int,
         "neutralized": int, "max_retire_len": int, "unreclaimed_end": int,
+        **PER_OP,
+    },
+    "kv": {
+        "scenario": str, "ds": str, "smr": str, "threads": int,
+        "shards": int, "pct_put": int, "seconds": NUM, "mops": NUM,
+        "read_mops": NUM, "retired": int, "freed": int,
+        "signals_sent": int, "final_unreclaimed": int, "vm_hwm_kib": int,
+        **PER_OP,
     },
     "mem_sample": {
         "scenario": str, "ds": str, "smr": str, "t_ms": int, "phase": int,
@@ -61,6 +78,8 @@ SCHEMAS = {
         "scenario": str, "ds": str, "smr": str, "threads": int,
         "shards": int, "shard": int, "ops": int, "retired": int,
         "freed": int, "unreclaimed": int, "signals_sent": int,
+        "get_hits": int, "get_misses": int, "put_inserts": int,
+        "put_replaces": int,
     },
 }
 
@@ -115,7 +134,7 @@ def main():
                     metavar="KIND",
                     help="fail unless at least one row of KIND exists "
                          "(scenario, phase, mem_sample, sharded, shard, "
-                         "micro, workload); repeatable")
+                         "kv, micro, workload); repeatable")
     ap.add_argument("--min-rows", type=int, default=1, metavar="N",
                     help="fail any file with fewer than N rows (default 1: "
                          "an empty artifact is a failure, not a pass)")
