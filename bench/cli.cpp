@@ -46,6 +46,29 @@ bool matches(const char* arg, const char* flag) {
          (arg[flen] == '\0' || arg[flen] == '=');
 }
 
+// Identifier flags (scheme / structure / scenario / hash names) travel
+// into env vars, JSONL string fields, and factory lookups verbatim, so
+// they are validated here at the parse boundary: names are restricted to
+// [A-Za-z0-9_-], plus ',' as the separator where the flag takes a list.
+// Anything else (a stray quote, a path, a shell glob that expanded) is
+// diagnosed on one line and rejected before it can seed an env var.
+std::string checked_ident(std::string value, const char* flag,
+                          const char* prog, bool list_ok) {
+  for (const char c : value) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    (list_ok && c == ',');
+    if (!ok) {
+      std::fprintf(stderr,
+                   "%s: %s '%s' has invalid character '%c' (allowed: "
+                   "A-Za-z0-9_-%s)\n",
+                   prog, flag, value.c_str(), c, list_ok ? " and ','" : "");
+      std::exit(2);
+    }
+  }
+  return value;
+}
+
 }  // namespace
 
 CliOptions apply_bench_cli(int argc, char** argv) {
@@ -58,15 +81,20 @@ CliOptions apply_bench_cli(int argc, char** argv) {
                flag_value(argc, argv, &i, "--threads", prog));
     } else if (matches(arg, "--smr") || matches(arg, "--smrs")) {
       const char* flag = matches(arg, "--smrs") ? "--smrs" : "--smr";
-      seed_env("POPSMR_BENCH_SMRS", flag_value(argc, argv, &i, flag, prog));
+      seed_env("POPSMR_BENCH_SMRS",
+               checked_ident(flag_value(argc, argv, &i, flag, prog), flag,
+                             prog, /*list_ok=*/true));
     } else if (matches(arg, "--ds")) {
-      seed_env("POPSMR_BENCH_DS", flag_value(argc, argv, &i, "--ds", prog));
+      seed_env("POPSMR_BENCH_DS",
+               checked_ident(flag_value(argc, argv, &i, "--ds", prog), "--ds",
+                             prog, /*list_ok=*/true));
     } else if (matches(arg, "--shards")) {
       seed_env("POPSMR_BENCH_SHARDS",
                flag_value(argc, argv, &i, "--shards", prog));
     } else if (matches(arg, "--shard-hash")) {
       seed_env("POPSMR_SHARD_HASH",
-               flag_value(argc, argv, &i, "--shard-hash", prog));
+               checked_ident(flag_value(argc, argv, &i, "--shard-hash", prog),
+                             "--shard-hash", prog, /*list_ok=*/false));
     } else if (matches(arg, "--pct-put")) {
       seed_env("POPSMR_BENCH_PCT_PUT",
                flag_value(argc, argv, &i, "--pct-put", prog));
@@ -77,7 +105,9 @@ CliOptions apply_bench_cli(int argc, char** argv) {
       seed_env("POPSMR_BENCH_JSON",
                flag_value(argc, argv, &i, "--json", prog));
     } else if (matches(arg, "--scenario")) {
-      out.scenario = flag_value(argc, argv, &i, "--scenario", prog);
+      out.scenario =
+          checked_ident(flag_value(argc, argv, &i, "--scenario", prog),
+                        "--scenario", prog, /*list_ok=*/false);
     } else if (std::strcmp(arg, "--short") == 0) {
       out.short_mode = true;
     } else if (std::strcmp(arg, "--list") == 0) {

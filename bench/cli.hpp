@@ -18,7 +18,11 @@
 //   --help                 usage and exit
 //
 // Unknown flags print usage and exit(2); figure binaries simply ignore
-// the fields they don't consume.
+// the fields they don't consume. Identifier-valued flags (--scenario,
+// --ds, --smr/--smrs, --shard-hash) are validated at parse time: names
+// must match [A-Za-z0-9_-] (',' also allowed in list flags); anything
+// else is diagnosed on one stderr line and rejected with exit(2) before
+// it can leak into env vars, factory lookups, or JSONL string fields.
 #pragma once
 
 #include <string>

@@ -7,7 +7,9 @@
 // clearly.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <vector>
 
 #include "ds/hm_list.hpp"
@@ -20,14 +22,24 @@ class HashTable {
   using Ops = HmOps<Smr>;
   using Node = typename Ops::Node;
 
-  // `capacity` is the expected maximum number of keys; the bucket count is
-  // capacity / load_factor (the paper uses load factor 6).
+  // `capacity` is the expected maximum number of keys; the bucket count
+  // is ceil(capacity / load_factor) (the paper uses load factor 6) —
+  // rounded UP: truncation used to turn any capacity below the load
+  // factor into a single bucket, silently degrading the table to a list.
   explicit HashTable(uint64_t capacity, double load_factor = 6.0,
                      const smr::SmrConfig& cfg = {})
       : smr_(cfg) {
-    uint64_t nbuckets =
-        static_cast<uint64_t>(static_cast<double>(capacity) / load_factor);
+    uint64_t nbuckets = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(capacity) / load_factor));
     if (nbuckets == 0) nbuckets = 1;
+    if (nbuckets < 2) {
+      std::fprintf(stderr,
+                   "popsmr: HMHT capacity %llu at load factor %.2f yields "
+                   "%llu bucket(s) — the table degenerates to a list; "
+                   "raise capacity or use RHHT\n",
+                   static_cast<unsigned long long>(capacity), load_factor,
+                   static_cast<unsigned long long>(nbuckets));
+    }
     heads_.reserve(nbuckets);
     for (uint64_t i = 0; i < nbuckets; ++i) {
       heads_.push_back(smr_.template create<Node>(0));

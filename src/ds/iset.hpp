@@ -73,6 +73,12 @@ class IKV {
   virtual void park_in_operation(const std::atomic<bool>& release) = 0;
 
   virtual smr::StatsSnapshot smr_stats() const = 0;
+
+  // Resize counters (grows/shrinks/current buckets). Non-zero grows or
+  // shrinks only for dynamically resizable structures (RHHT); the fixed
+  // hash table reports its bucket count, everything else reports zeros.
+  virtual ResizeStats resize_stats() const { return {}; }
+
   virtual uint64_t size_slow() const = 0;
   virtual std::string ds_name() const = 0;
   virtual std::string smr_name() const = 0;
@@ -86,10 +92,11 @@ using ISet = IKV;
 const std::vector<std::string>& all_smr_names();
 const std::vector<std::string>& all_ds_names();
 
-// Creates `ds` ("HML", "LL", "HMHT", "DGT", "ABT") under `smr` ("NR",
-// "HP", "HPAsym", "HE", "EBR", "IBR", "NBR", "BRC", "HazardPtrPOP",
-// "HazardEraPOP", "EpochPOP"). Returns nullptr for unknown names, after
-// printing one stderr line naming the bad name and the known catalogue.
+// Creates `ds` ("HML", "LL", "HMHT", "RHHT" — alias "rhht" — "DGT",
+// "ABT") under `smr` ("NR", "HP", "HPAsym", "HE", "EBR", "IBR", "NBR",
+// "BRC", "HazardPtrPOP", "HazardEraPOP", "EpochPOP"). Returns nullptr
+// for unknown names, after printing one stderr line naming the bad name
+// and the known catalogue.
 std::unique_ptr<IKV> make_kv(const std::string& ds, const std::string& smr,
                              const SetConfig& cfg);
 

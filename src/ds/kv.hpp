@@ -20,4 +20,17 @@ inline const char* put_result_name(PutResult r) {
   return r == PutResult::kReplaced ? "replaced" : "inserted";
 }
 
+// Resize counters exposed by dynamically resizable structures (RHHT):
+// descriptor publications split by direction, plus the current bucket
+// count. Fixed-shape structures report all-zero stats (the fixed hash
+// table reports its bucket count with zero grows/shrinks), so callers
+// can emit the fields unconditionally.
+struct ResizeStats {
+  uint64_t grows = 0;
+  uint64_t shrinks = 0;
+  uint64_t buckets = 0;  // 0 for structures with no bucket notion
+
+  uint64_t resizes() const { return grows + shrinks; }
+};
+
 }  // namespace pop::ds

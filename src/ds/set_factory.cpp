@@ -8,6 +8,8 @@ namespace pop::ds {
 std::unique_ptr<IKV> make_hm_list(const std::string&, const SetConfig&);
 std::unique_ptr<IKV> make_lazy_list(const std::string&, const SetConfig&);
 std::unique_ptr<IKV> make_hash_table(const std::string&, const SetConfig&);
+std::unique_ptr<IKV> make_resizable_hash_table(const std::string&,
+                                               const SetConfig&);
 std::unique_ptr<IKV> make_dgt_bst(const std::string&, const SetConfig&);
 std::unique_ptr<IKV> make_ab_tree(const std::string&, const SetConfig&);
 
@@ -19,8 +21,8 @@ const std::vector<std::string>& all_smr_names() {
 }
 
 const std::vector<std::string>& all_ds_names() {
-  static const std::vector<std::string> names = {"HML", "LL", "HMHT", "DGT",
-                                                 "ABT"};
+  static const std::vector<std::string> names = {"HML", "LL", "HMHT", "RHHT",
+                                                 "DGT", "ABT"};
   return names;
 }
 
@@ -29,11 +31,16 @@ std::unique_ptr<IKV> make_kv(const std::string& ds, const std::string& smr,
   if (ds == "HML") return make_hm_list(smr, cfg);
   if (ds == "LL") return make_lazy_list(smr, cfg);
   if (ds == "HMHT") return make_hash_table(smr, cfg);
+  // "rhht" is the factory name the resizable table was introduced under;
+  // "RHHT" is the canonical catalogue spelling. Accept both.
+  if (ds == "RHHT" || ds == "rhht") {
+    return make_resizable_hash_table(smr, cfg);
+  }
   if (ds == "DGT") return make_dgt_bst(smr, cfg);
   if (ds == "ABT") return make_ab_tree(smr, cfg);
   std::fprintf(stderr,
                "popsmr: unknown data structure '%s' (known: HML, LL, HMHT, "
-               "DGT, ABT)\n",
+               "RHHT, DGT, ABT)\n",
                ds.c_str());
   return nullptr;
 }

@@ -50,6 +50,18 @@ class SetAdapter final : public IKV {
   smr::StatsSnapshot smr_stats() const override {
     return const_cast<DsT&>(ds_).domain().stats();
   }
+  ResizeStats resize_stats() const override {
+    if constexpr (requires { ds_.resize_stats(); }) {
+      return ds_.resize_stats();
+    } else if constexpr (requires { ds_.bucket_count(); }) {
+      // Fixed-bucket table: report the shape, zero resize activity.
+      ResizeStats r;
+      r.buckets = ds_.bucket_count();
+      return r;
+    } else {
+      return {};
+    }
+  }
   uint64_t size_slow() const override { return ds_.size_slow(); }
   std::string ds_name() const override { return ds_name_; }
   std::string smr_name() const override {

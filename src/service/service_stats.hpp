@@ -24,6 +24,12 @@ struct ShardStats {
   uint64_t get_misses = 0;
   uint64_t put_inserts = 0;
   uint64_t put_replaces = 0;
+  // Resize activity of this shard's structure (RHHT shards resize
+  // independently — each shard's descriptor CASes on its own load):
+  // grows + shrinks, and the bucket count at snapshot time (a fixed
+  // HMHT shard reports its static bucket count with resizes == 0).
+  uint64_t resizes = 0;
+  uint64_t buckets_final = 0;
   smr::StatsSnapshot smr;  // the shard's own domain counters
 };
 
@@ -35,6 +41,8 @@ struct ServiceStats {
   uint64_t get_misses_total = 0;
   uint64_t put_inserts_total = 0;
   uint64_t put_replaces_total = 0;
+  uint64_t resizes_total = 0;
+  uint64_t buckets_total = 0;  // sum of per-shard bucket counts
   // Process-wide pool occupancy at snapshot time (the pool is shared by
   // every shard's domain, so blocks are not separable per shard).
   uint64_t pool_live_blocks = 0;

@@ -67,6 +67,17 @@ smr::StatsSnapshot ShardedMap::smr_stats() const {
   return total;
 }
 
+ds::ResizeStats ShardedMap::resize_stats() const {
+  ds::ResizeStats total;
+  for (const auto& s : shards_) {
+    const ds::ResizeStats r = s->resize_stats();
+    total.grows += r.grows;
+    total.shrinks += r.shrinks;
+    total.buckets += r.buckets;
+  }
+  return total;
+}
+
 uint64_t ShardedMap::size_slow() const {
   uint64_t n = 0;
   for (const auto& s : shards_) n += s->size_slow();
@@ -104,12 +115,17 @@ ServiceStats ShardedMap::service_stats() const {
     ss.ops = lanes[kLaneOther] + ss.get_hits + ss.get_misses +
              ss.put_inserts + ss.put_replaces;
     ss.smr = shards_[i]->smr_stats();
+    const ds::ResizeStats rs = shards_[i]->resize_stats();
+    ss.resizes = rs.resizes();
+    ss.buckets_final = rs.buckets;
     out.smr.absorb(ss.smr);
     out.ops_total += ss.ops;
     out.get_hits_total += ss.get_hits;
     out.get_misses_total += ss.get_misses;
     out.put_inserts_total += ss.put_inserts;
     out.put_replaces_total += ss.put_replaces;
+    out.resizes_total += ss.resizes;
+    out.buckets_total += ss.buckets_final;
     out.shards.push_back(std::move(ss));
   }
   const auto ps = runtime::PoolAllocator::instance().stats();

@@ -91,6 +91,9 @@ class ShardedMap final : public ds::IKV {
   }
 
   smr::StatsSnapshot smr_stats() const override;
+  // Roll-up over shards: grows/shrinks sum, buckets is the total across
+  // shards (each shard resizes independently on its own load).
+  ds::ResizeStats resize_stats() const override;
   uint64_t size_slow() const override;
   std::string ds_name() const override { return shards_[0]->ds_name(); }
   std::string smr_name() const override { return shards_[0]->smr_name(); }

@@ -25,7 +25,8 @@ inline void emit_shard_rows(std::FILE* f, const ScenarioSpec& spec,
         "\"smr\":\"%s\",\"threads\":%d,\"shards\":%d,\"shard\":%d,"
         "\"ops\":%llu,\"retired\":%llu,\"freed\":%llu,"
         "\"unreclaimed\":%llu,\"signals_sent\":%llu,\"get_hits\":%llu,"
-        "\"get_misses\":%llu,\"put_inserts\":%llu,\"put_replaces\":%llu}\n",
+        "\"get_misses\":%llu,\"put_inserts\":%llu,\"put_replaces\":%llu,"
+        "\"resizes\":%llu,\"buckets_final\":%llu}\n",
         spec.name.c_str(), spec.ds.c_str(), spec.smr.c_str(), spec.threads,
         spec.shards, s.shard, static_cast<unsigned long long>(s.ops),
         static_cast<unsigned long long>(s.smr.retired),
@@ -35,7 +36,9 @@ inline void emit_shard_rows(std::FILE* f, const ScenarioSpec& spec,
         static_cast<unsigned long long>(s.get_hits),
         static_cast<unsigned long long>(s.get_misses),
         static_cast<unsigned long long>(s.put_inserts),
-        static_cast<unsigned long long>(s.put_replaces));
+        static_cast<unsigned long long>(s.put_replaces),
+        static_cast<unsigned long long>(s.resizes),
+        static_cast<unsigned long long>(s.buckets_final));
   }
 }
 
@@ -58,7 +61,8 @@ inline void emit_scenario_jsonl(const std::string& path,
       "\"signals_sent\":%llu,\"vm_hwm_kib\":%llu,\"churn_cycles\":%llu,"
       "\"baseline_unreclaimed\":%llu,\"stall_peak_unreclaimed\":%llu,"
       "\"final_unreclaimed\":%llu,\"stall_parked_at_ms\":%llu,"
-      "\"stall_resumed_at_ms\":%llu,\"gets\":%llu,\"get_hits\":%llu,"
+      "\"stall_resumed_at_ms\":%llu,\"grows\":%llu,\"shrinks\":%llu,"
+      "\"buckets_final\":%llu,\"gets\":%llu,\"get_hits\":%llu,"
       "\"inserts\":%llu,\"erases\":%llu,\"puts\":%llu,"
       "\"put_replaced\":%llu,\"rw_violations\":%llu}\n",
       nm, ds, smr, spec.threads, spec.shards, r.seconds, r.mops, r.read_mops,
@@ -72,6 +76,9 @@ inline void emit_scenario_jsonl(const std::string& path,
       static_cast<unsigned long long>(r.final_unreclaimed),
       static_cast<unsigned long long>(r.stall_parked_at_ms),
       static_cast<unsigned long long>(r.stall_resumed_at_ms),
+      static_cast<unsigned long long>(r.grows),
+      static_cast<unsigned long long>(r.shrinks),
+      static_cast<unsigned long long>(r.buckets_final),
       static_cast<unsigned long long>(r.gets),
       static_cast<unsigned long long>(r.get_hits),
       static_cast<unsigned long long>(r.inserts),
@@ -163,6 +170,43 @@ inline void emit_kv_jsonl(const std::string& path, const ScenarioSpec& spec,
       static_cast<unsigned long long>(r.final_unreclaimed),
       static_cast<unsigned long long>(r.vm_hwm_kib));
   emit_shard_rows(f, spec, r);
+  std::fclose(f);
+}
+
+/// One "resize" row per bench_resize cell: the provisioning deficit being
+// swept (key_range / initial_capacity), the resize activity it forced,
+// and the grow-storm vs post-storm steady throughput split. recovery_pct
+// is steady throughput as a percentage of the correctly-provisioned
+// fixed-table reference in the same (smr, threads) cell — the acceptance
+// signal that an under-provisioned resizable table grows its way back.
+inline void emit_resize_jsonl(const std::string& path,
+                              const ScenarioSpec& spec, uint64_t deficit,
+                              double storm_mops, double steady_mops,
+                              double recovery_pct, const ScenarioResult& r) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  std::fprintf(
+      f,
+      "{\"kind\":\"resize\",\"scenario\":\"%s\",\"ds\":\"%s\","
+      "\"smr\":\"%s\",\"threads\":%d,\"deficit\":%llu,"
+      "\"initial_capacity\":%llu,\"key_range\":%llu,\"seconds\":%.6f,"
+      "\"mops\":%.6f,\"storm_mops\":%.6f,\"steady_mops\":%.6f,"
+      "\"recovery_pct\":%.2f,\"grows\":%llu,\"shrinks\":%llu,"
+      "\"buckets_final\":%llu,\"retired\":%llu,\"freed\":%llu,"
+      "\"final_unreclaimed\":%llu}\n",
+      spec.name.c_str(), spec.ds.c_str(), spec.smr.c_str(), spec.threads,
+      static_cast<unsigned long long>(deficit),
+      static_cast<unsigned long long>(
+          spec.initial_capacity > 0 ? spec.initial_capacity : spec.key_range),
+      static_cast<unsigned long long>(spec.key_range), r.seconds, r.mops,
+      storm_mops, steady_mops, recovery_pct,
+      static_cast<unsigned long long>(r.grows),
+      static_cast<unsigned long long>(r.shrinks),
+      static_cast<unsigned long long>(r.buckets_final),
+      static_cast<unsigned long long>(r.smr.retired),
+      static_cast<unsigned long long>(r.smr.freed),
+      static_cast<unsigned long long>(r.final_unreclaimed));
   std::fclose(f);
 }
 

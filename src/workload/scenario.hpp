@@ -99,6 +99,13 @@ struct ScenarioSpec {
   // Keys prefilled before phase 0 (default: key_range / 2).
   uint64_t prefill = UINT64_MAX;
   double load_factor = 6.0;  // hash table only
+  // Resize axis: the capacity the structure is *provisioned* for, when
+  // different from key_range (0 = provision for key_range, the legacy
+  // behaviour). Under-provisioning a resizable table (initial_capacity
+  // << key_range) forces a grow storm; a fixed HMHT just runs with long
+  // buckets. The deficit key_range / initial_capacity is what
+  // bench_resize sweeps.
+  uint64_t initial_capacity = 0;
   smr::SmrConfig smr_cfg;
   std::vector<PhaseSpec> phases;  // empty => one default phase
   ChurnSpec churn;
@@ -170,6 +177,12 @@ struct ScenarioResult : OpCounts {
   uint64_t final_unreclaimed = 0;
   uint64_t stall_parked_at_ms = 0;
   uint64_t stall_resumed_at_ms = 0;
+  // Resize accounting (RHHT cells; zero-filled for fixed structures
+  // except buckets_final, which reports a fixed table's static shape).
+  uint64_t grows = 0;
+  uint64_t shrinks = 0;
+  uint64_t buckets_final = 0;
+  uint64_t resizes() const { return grows + shrinks; }
   // Per-shard breakdown when the spec ran sharded (shards > 1); empty
   // otherwise. service.smr matches the `smr` roll-up above.
   service::ServiceStats service;

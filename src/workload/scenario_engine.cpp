@@ -116,7 +116,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
   }
 
   ds::SetConfig sc;
-  sc.capacity = spec.key_range;
+  // The resize axis: provision for initial_capacity when set (an under-
+  // provisioned resizable table has to grow its way out mid-run), else
+  // for the full key range.
+  sc.capacity =
+      spec.initial_capacity > 0 ? spec.initial_capacity : spec.key_range;
   sc.load_factor = spec.load_factor;
   sc.smr = spec.smr_cfg;
   // Sharded specs run against a ShardedMap (one SMR domain per shard);
@@ -473,6 +477,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
     res.read_mops = static_cast<double>(res.reads) / res.seconds / 1e6;
   }
   res.smr = set->smr_stats();
+  {
+    const ds::ResizeStats rs = set->resize_stats();
+    res.grows = rs.grows;
+    res.shrinks = rs.shrinks;
+    res.buckets_final = rs.buckets;
+  }
   if (sharded != nullptr) res.service = sharded->service_stats();
   res.vm_hwm_kib = runtime::vm_hwm_kib();
   res.final_size = set->size_slow();

@@ -34,7 +34,8 @@ const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
       "uniform-mixed",  "hotspot-churn",        "moving-hotspot",
       "stall-recovery", "oversubscribed-burst", "sharded-uniform",
-      "sharded-hotspot", "kv-update-heavy",
+      "sharded-hotspot", "kv-update-heavy",     "grow-churn",
+      "resize-storm",
   };
   return names;
 }
@@ -71,6 +72,18 @@ std::string scenario_description(const std::string& name) {
     return "value-carrying map traffic: a put-heavy phase (replaces retire "
            "displaced nodes under active readers) then a get-heavy phase "
            "over the rewritten keys";
+  }
+  if (name == "grow-churn") {
+    return "a table provisioned for 1/64th of the key range fills under "
+           "insert-heavy traffic while workers churn: grow-path descriptor "
+           "CASes race recycled registry tids (RHHT resizes; fixed tables "
+           "just run long buckets)";
+  }
+  if (name == "resize-storm") {
+    return "fill -> drain -> refill oscillation on an under-provisioned "
+           "table with a victim parked through the drain: bucket-array "
+           "retirement (one large Reclaimable per displaced descriptor) "
+           "flows through the batched sweep against a pinned reservation";
   }
   return "";
 }
@@ -172,6 +185,41 @@ std::optional<ScenarioSpec> make_scenario(const std::string& name,
     s.phases.push_back(rewrite);
     s.phases.push_back(readback);
     s.mem_sample_every_ms = scaled_ms(10, sc);
+    return s;
+  }
+
+  if (name == "grow-churn") {
+    // Under-provision by 64x: the resizable table must double its way up
+    // ~6 times mid-run while the worker pool churns underneath it (a
+    // descriptor CAS or cooperative bucket split can race a tid being
+    // recycled). Prefill is skipped so the whole growth happens under
+    // contention, not in the single-threaded fill loop.
+    s.initial_capacity = std::max<uint64_t>(2, s.key_range / 64);
+    s.prefill = 0;
+    s.phases.push_back(phase("grow", 250, 70, 5, sc));
+    s.phases.push_back(phase("churn-steady", 200, 25, 25, sc));
+    s.churn.enabled = true;
+    s.churn.interval_ms = scaled_ms(30, sc);
+    s.mem_sample_every_ms = scaled_ms(10, sc);
+    return s;
+  }
+
+  if (name == "resize-storm") {
+    // Oscillate the population so an adaptive table grows AND shrinks:
+    // every displaced bucket array is retired as one large Reclaimable,
+    // and the victim parked through the drain pins a reservation while
+    // those arrays flow through the batched sweep.
+    s.initial_capacity = std::max<uint64_t>(2, s.key_range / 64);
+    s.prefill = 0;
+    const uint64_t fill = 200, drain = 200, refill = 150;
+    s.phases.push_back(phase("fill", fill, 80, 0, sc));
+    s.phases.push_back(phase("drain", drain, 0, 80, sc));
+    s.phases.push_back(phase("refill", refill, 60, 10, sc));
+    s.stall.enabled = true;
+    s.stall.victim = 0;
+    s.stall.park_after_ms = scaled_ms(fill, sc);
+    s.stall.park_for_ms = scaled_ms(drain / 2, sc);
+    s.mem_sample_every_ms = std::max<uint64_t>(1, scaled_ms(8, sc));
     return s;
   }
 

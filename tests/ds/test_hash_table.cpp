@@ -17,6 +17,16 @@ TEST(HashTable, BucketCountFollowsLoadFactor) {
   EXPECT_EQ(h1.bucket_count(), 1u);  // never zero buckets
 }
 
+TEST(HashTable, BucketCountRoundsUpNotDown) {
+  // Regression: capacity / load_factor used to truncate, so capacity 7
+  // at load factor 6 got ONE bucket (a list) instead of two, and any
+  // non-multiple capacity ran systematically over its load factor.
+  HashTable<smr::EbrDomain> h7(7, 6.0);
+  EXPECT_EQ(h7.bucket_count(), 2u);
+  HashTable<smr::EbrDomain> h64(64, 6.0);
+  EXPECT_EQ(h64.bucket_count(), 11u);  // ceil(64/6), not 10
+}
+
 TEST(HashTable, BasicSetSemantics) {
   HashTable<core::HazardPtrPopDomain> h(1024);
   for (uint64_t k = 0; k < 500; ++k) EXPECT_TRUE(h.insert(k));

@@ -132,6 +132,72 @@ TEST_P(LeakBalance, PutReplaceBalancesUnderChurnAndStall) {
       << std::get<0>(GetParam()) << "/" << std::get<1>(GetParam());
 }
 
+// Resize-storm leak balance, RHHT under every scheme: an under-
+// provisioned table (capacity 4, load factor 2) grows repeatedly under
+// put-heavy traffic while a victim sits parked inside an operation
+// bracket, so displaced bucket arrays — each one large pool block
+// retired as a single Reclaimable — queue up behind a live reservation.
+// Teardown must still return every block: node, dummy-backing list
+// cells, and every generation of bucket array.
+class ResizeStormLeakBalance
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ResizeStormLeakBalance, BucketArraysBalanceUnderStormAndStall) {
+  const auto before = runtime::PoolAllocator::instance().stats();
+  {
+    SetConfig cfg;
+    cfg.capacity = 4;
+    cfg.load_factor = 2.0;
+    cfg.smr.retire_threshold = 8;
+    cfg.smr.epoch_freq = 2;
+    auto s = make_set("RHHT", GetParam(), cfg);
+    ASSERT_NE(s, nullptr);
+
+    std::atomic<bool> release{false};
+    std::atomic<bool> parked{false};
+    std::thread victim([&] {
+      parked.store(true);
+      s->park_in_operation(release);
+      s->detach_thread();
+    });
+    while (!parked.load()) std::this_thread::yield();
+    std::thread timer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      release.store(true);
+    });
+
+    // Two fill/drain waves per worker: the population swings force grows
+    // on the way up and shrinks on the way down, so descriptors of both
+    // polarities are retired while the victim is (initially) parked.
+    test::run_threads(3, [&](int w) {
+      runtime::Xoshiro256 rng(5000 + w);
+      for (int wave = 0; wave < 2; ++wave) {
+        for (int i = 0; i < 1500; ++i) {
+          (void)s->put(rng.next_below(1024), rng.next());
+        }
+        for (int i = 0; i < 1500; ++i) {
+          (void)s->erase(rng.next_below(1024));
+        }
+      }
+      s->detach_thread();
+    });
+    timer.join();
+    victim.join();
+    EXPECT_GT(s->resize_stats().grows, 0u)
+        << "the storm never grew the table; the test lost its point";
+    s->detach_thread();
+  }
+  const auto after = runtime::PoolAllocator::instance().stats();
+  EXPECT_EQ(after.allocated_blocks - before.allocated_blocks,
+            after.freed_blocks - before.freed_blocks)
+      << "pool imbalance after a resize storm under RHHT/" << GetParam()
+      << ": a bucket array or node generation was never freed";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ResizeStormLeakBalance,
+                         ::testing::ValuesIn(all_smr_names()),
+                         [](const auto& info) { return info.param; });
+
 std::vector<std::tuple<std::string, std::string>> matrix() {
   std::vector<std::tuple<std::string, std::string>> v;
   for (const auto& ds : all_ds_names()) {

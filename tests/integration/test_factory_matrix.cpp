@@ -70,7 +70,7 @@ TEST(FactoryMatrix, KvSurfaceRoundTripsThroughEveryCombination) {
 }
 
 TEST(FactoryMatrix, ExpectedCatalogue) {
-  EXPECT_EQ(all_ds_names().size(), 5u);
+  EXPECT_EQ(all_ds_names().size(), 6u);
   EXPECT_EQ(all_smr_names().size(), 11u);
 }
 

@@ -4,8 +4,9 @@
 Every bench binary appends JSON Lines to POPSMR_BENCH_JSON. Three row
 families exist:
 
-  * kind-tagged rows (bench_scenarios / bench_sharded / bench_kv):
-    "scenario", "phase", "mem_sample", "sharded", "shard", "kv"
+  * kind-tagged rows (bench_scenarios / bench_sharded / bench_kv /
+    bench_resize): "scenario", "phase", "mem_sample", "sharded",
+    "shard", "kv", "resize"
   * micro rows ("bench": "...") from the microbenchmarks
   * legacy figure rows (no tag) from print_row: ds/smr/threads/mops/...
 
@@ -26,10 +27,16 @@ import json
 import sys
 
 # Required fields per kind-tagged row family: (name, type) pairs. bool is
-# accepted for int fields only where noted; numbers must not be NaN/inf
-# (json.loads would have produced float('nan') from bare NaN, which the
-# emitters never write — reject them anyway).
+# accepted for int fields only where noted in BOOL_OK; numbers must not
+# be NaN/inf (json.loads would have produced float('nan') from bare NaN,
+# which the emitters never write — reject them anyway).
 NUM = (int, float)
+
+# The documented bool-as-int fields: a C emitter printing a flag as 0/1
+# and a hand-written fixture using true/false must both pass. Every other
+# field rejects bools (Python's bool is an int subclass, so without this
+# carve-out `"retired": true` would silently satisfy an int schema).
+BOOL_OK = {"victim_parked"}
 
 # Per-op outcome breakdown shared by every row family that reports a run
 # of the KV workload loop (get hit ratio, put insert/replace split, and
@@ -46,7 +53,16 @@ SCHEMAS = {
         "retired": int, "freed": int, "signals_sent": int,
         "vm_hwm_kib": int, "churn_cycles": int,
         "baseline_unreclaimed": int, "stall_peak_unreclaimed": int,
-        "final_unreclaimed": int, **PER_OP,
+        "final_unreclaimed": int, "grows": int, "shrinks": int,
+        "buckets_final": int, **PER_OP,
+    },
+    "resize": {
+        "scenario": str, "ds": str, "smr": str, "threads": int,
+        "deficit": int, "initial_capacity": int, "key_range": int,
+        "seconds": NUM, "mops": NUM, "storm_mops": NUM, "steady_mops": NUM,
+        "recovery_pct": NUM, "grows": int, "shrinks": int,
+        "buckets_final": int, "retired": int, "freed": int,
+        "final_unreclaimed": int,
     },
     "phase": {
         "scenario": str, "ds": str, "smr": str, "phase": str, "idx": int,
@@ -79,7 +95,7 @@ SCHEMAS = {
         "shards": int, "shard": int, "ops": int, "retired": int,
         "freed": int, "unreclaimed": int, "signals_sent": int,
         "get_hits": int, "get_misses": int, "put_inserts": int,
-        "put_replaces": int,
+        "put_replaces": int, "resizes": int, "buckets_final": int,
     },
 }
 
@@ -97,7 +113,10 @@ def check_fields(row, schema, where, errors):
             errors.append(f"{where}: missing field '{field}'")
             continue
         v = row[field]
-        # bools are ints in Python; reject them for numeric fields.
+        # bools are ints in Python; reject them for numeric fields except
+        # the documented bool-as-int flags in BOOL_OK.
+        if isinstance(v, bool) and field in BOOL_OK:
+            continue
         if isinstance(v, bool) or not isinstance(v, ftype):
             errors.append(
                 f"{where}: field '{field}' has type {type(v).__name__}, "
@@ -127,20 +146,86 @@ def check_row(row, where, errors, kind_counts):
         check_fields(row, LEGACY_REQUIRED, f"{where} [workload]", errors)
 
 
+def self_test():
+    """Regression cases for the checker itself (run with --self-test).
+
+    Each case is (description, row, should_pass). The load-bearing one is
+    the bool regression: `"retired": true` must FAIL even though Python's
+    bool is an int subclass — only the documented BOOL_OK flags may carry
+    a JSON bool.
+    """
+    shard_ok = {
+        "kind": "shard", "scenario": "s", "ds": "RHHT", "smr": "EBR",
+        "threads": 2, "shards": 4, "shard": 0, "ops": 10, "retired": 5,
+        "freed": 5, "unreclaimed": 0, "signals_sent": 0, "get_hits": 1,
+        "get_misses": 1, "put_inserts": 1, "put_replaces": 1, "resizes": 3,
+        "buckets_final": 256,
+    }
+    resize_ok = {
+        "kind": "resize", "scenario": "grow-storm", "ds": "RHHT",
+        "smr": "EBR", "threads": 2, "deficit": 64, "initial_capacity": 256,
+        "key_range": 16384, "seconds": 0.4, "mops": 1.0, "storm_mops": 0.8,
+        "steady_mops": 1.2, "recovery_pct": 97.5, "grows": 6, "shrinks": 0,
+        "buckets_final": 4096, "retired": 6, "freed": 6,
+        "final_unreclaimed": 0,
+    }
+    mem_ok = {
+        "kind": "mem_sample", "scenario": "s", "ds": "HML", "smr": "HP",
+        "t_ms": 1, "phase": 0, "vm_rss_kib": 1, "vm_hwm_kib": 1,
+        "unreclaimed": 0, "pool_live_blocks": 0, "victim_parked": 0,
+    }
+    cases = [
+        ("valid shard row", shard_ok, True),
+        ("valid resize row", resize_ok, True),
+        ("valid mem_sample row", mem_ok, True),
+        ("victim_parked as bool (documented bool-as-int)",
+         {**mem_ok, "victim_parked": True}, True),
+        ("retired as bool must be rejected",
+         {**shard_ok, "retired": True}, False),
+        ("recovery_pct as bool must be rejected",
+         {**resize_ok, "recovery_pct": False}, False),
+        ("missing deficit", {k: v for k, v in resize_ok.items()
+                             if k != "deficit"}, False),
+        ("unknown kind", {"kind": "nope"}, False),
+        ("non-object row", [1, 2, 3], False),
+    ]
+    failures = 0
+    for desc, row, should_pass in cases:
+        errors = []
+        check_row(row, "self-test", errors, {})
+        passed = not errors
+        if passed != should_pass:
+            failures += 1
+            print(f"check_bench_jsonl: self-test FAIL: {desc} "
+                  f"(expected {'pass' if should_pass else 'fail'}, "
+                  f"errors={errors})", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"check_bench_jsonl: self-test OK — {len(cases)} cases")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("files", nargs="+", help="JSONL artifacts to validate")
+    ap.add_argument("files", nargs="*", help="JSONL artifacts to validate")
     ap.add_argument("--require-kind", action="append", default=[],
                     metavar="KIND",
                     help="fail unless at least one row of KIND exists "
                          "(scenario, phase, mem_sample, sharded, shard, "
-                         "kv, micro, workload); repeatable")
+                         "kv, resize, micro, workload); repeatable")
     ap.add_argument("--min-rows", type=int, default=1, metavar="N",
                     help="fail any file with fewer than N rows (default 1: "
                          "an empty artifact is a failure, not a pass)")
     ap.add_argument("--summary", action="store_true",
                     help="print per-kind row counts on success")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the checker's own regression cases and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        ap.error("no input files (or pass --self-test)")
 
     errors = []
     kind_counts = {}
