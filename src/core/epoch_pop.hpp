@@ -109,6 +109,9 @@ class EpochPopDomain {
     if (core_.retire_list(tid).length() >=
         cfg.pop_multiplier * cfg.retire_threshold) {
       reclaim_pop(tid);  // a delayed thread is suspected
+    } else if (core_.pressure_check(tid)) {
+      reclaim_pop(tid);  // backstop goes straight to the robust path
+      core_.pressure_relieved_or_warn(tid);
     }
   }
 
@@ -124,8 +127,16 @@ class EpochPopDomain {
   PopEngine& engine() { return engine_; }
 
  private:
+  // Neutralizes a certified-dead tid: zero its engine slots and park its
+  // announced epoch at quiescent so a corpse cannot pin the epoch sweep.
+  void reap_tid(int t) {
+    engine_.reap(t);
+    reserved_epoch_[t]->v.store(kQuiescent, std::memory_order_release);
+  }
+
   // Algorithm 3 reclaimEpochFreeable(): classic EBR sweep.
   void reclaim_epoch_freeable(int tid) {
+    core_.reap_dead(tid, [this](int t) { reap_tid(t); });
     uint64_t min_reserved = kQuiescent;
     const int hi = runtime::ThreadRegistry::instance().max_tid();
     for (int t = 0; t <= hi; ++t) {
@@ -148,8 +159,16 @@ class EpochPopDomain {
   // because every access is preceded by a validated (private) reservation.
   void reclaim_pop(int tid) {
     auto& st = core_.stats(tid);
-    st.signals_sent +=
-        static_cast<uint64_t>(engine_.ping_all_and_wait(tid));
+    core_.reap_dead(tid, [this](int t) { reap_tid(t); });
+    const auto hs = engine_.ping_all_and_wait(tid);
+    st.signals_sent += static_cast<uint64_t>(hs.sent);
+    if (!hs.complete()) {
+      // A live laggard never published; its private reservations could
+      // name anything in the retire list. Defer the POP sweep.
+      st.waves_timed_out += 1;
+      st.pings_received = engine_.pings_received(tid);
+      return;
+    }
     uintptr_t* reserved = core_.scan_scratch(tid);
     const int n = engine_.collect_shared(reserved);
     st.scans += 1;

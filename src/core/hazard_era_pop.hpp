@@ -79,6 +79,10 @@ class HazardEraPopDomain {
     if (core_.retire_tick(tid) % core_.config().retire_threshold == 0) {
       era_.fetch_add(1, std::memory_order_acq_rel);
       reclaim(tid);
+    } else if (core_.pressure_check(tid)) {
+      era_.fetch_add(1, std::memory_order_acq_rel);
+      reclaim(tid);
+      core_.pressure_relieved_or_warn(tid);
     }
   }
 
@@ -93,8 +97,16 @@ class HazardEraPopDomain {
  private:
   void reclaim(int tid) {
     auto& st = core_.stats(tid);
-    st.signals_sent +=
-        static_cast<uint64_t>(engine_.ping_all_and_wait(tid));
+    core_.reap_dead(tid, [&](int t) { engine_.reap(t); });
+    const auto hs = engine_.ping_all_and_wait(tid);
+    st.signals_sent += static_cast<uint64_t>(hs.sent);
+    if (!hs.complete()) {
+      // Defer: a non-publishing live thread's reserved eras are unknown,
+      // so no lifespan-disjointness test is sound this wave.
+      st.waves_timed_out += 1;
+      st.pings_received = engine_.pings_received(tid);
+      return;
+    }
     uintptr_t* eras = core_.scan_scratch(tid);
     const int n = engine_.collect_shared(eras);  // sorted
     st.scans += 1;

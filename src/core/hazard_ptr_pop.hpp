@@ -80,6 +80,9 @@ class HazardPtrPopDomain {
     // holds reserved (unfreeable) nodes — a signal storm.
     if (core_.retire_tick(tid) % core_.config().retire_threshold == 0) {
       reclaim(tid);
+    } else if (core_.pressure_check(tid)) {
+      reclaim(tid);
+      core_.pressure_relieved_or_warn(tid);
     }
   }
 
@@ -94,8 +97,17 @@ class HazardPtrPopDomain {
  private:
   void reclaim(int tid) {
     auto& st = core_.stats(tid);
-    st.signals_sent +=
-        static_cast<uint64_t>(engine_.ping_all_and_wait(tid));
+    core_.reap_dead(tid, [&](int t) { engine_.reap(t); });
+    const auto hs = engine_.ping_all_and_wait(tid);
+    st.signals_sent += static_cast<uint64_t>(hs.sent);
+    if (!hs.complete()) {
+      // A live thread never published: its private reservations are
+      // invisible, so no subset of the retire list is provably safe.
+      // Defer the sweep (bounded-memory degrades, safety does not).
+      st.waves_timed_out += 1;
+      sync_ping_stats(st, tid);
+      return;
+    }
     uintptr_t* reserved = core_.scan_scratch(tid);
     const int n = engine_.collect_shared(reserved);
     st.scans += 1;

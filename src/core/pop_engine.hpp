@@ -29,9 +29,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 
 #include "runtime/backoff.hpp"
+#include "runtime/env.hpp"
 #include "runtime/padded.hpp"
 #include "runtime/signal_bus.hpp"
 #include "runtime/thread_registry.hpp"
@@ -39,6 +42,18 @@
 #include "smr/smr_config.hpp"
 
 namespace pop::core {
+
+// Outcome of one ping_all_and_wait handshake. `timed_out` means at least
+// one *live* laggard never published before the watchdog deadline — the
+// caller must NOT sweep against the shared table (the laggard's private
+// reservations are invisible); defer and retry on a later pass. Dead
+// laggards are certified and skipped without compromising the wave.
+struct HandshakeResult {
+  int sent = 0;            // signals this caller issued
+  int certified_dead = 0;  // laggards certified kernel-dead and skipped
+  bool timed_out = false;  // a live laggard outlasted the deadline
+  bool complete() const { return !timed_out; }
+};
 
 class PopEngine final : public runtime::SignalClient {
  public:
@@ -121,9 +136,19 @@ class PopEngine final : public runtime::SignalClient {
 
   // ---- reclaimer handshake --------------------------------------------------
 
-  // Executes collect + ping + wait. Returns the number of signals this
-  // caller sent. On return, every pre-ping reservation of every attached
-  // thread is visible in the shared table.
+  // Executes collect + ping + wait. Returns the handshake outcome (signal
+  // count + watchdog verdict). On a complete() return, every pre-ping
+  // reservation of every attached thread is visible in the shared table.
+  //
+  // Watchdog: the wait carries a terminal deadline (POPSMR_PING_TIMEOUT_MS,
+  // 0 disables) layered over the progressive per-wave patience. On expiry
+  // each laggard is classified: a kernel-dead thread is certified via the
+  // registry (its epoch bump then releases every other wait loop too) and
+  // skipped — its private reservations died with it, and its stale shared
+  // slots keep conservatively protecting whatever they name; a live
+  // unresponsive thread (e.g. one whose pings are being lost) forces
+  // timed_out, because freeing without its publish would be unsafe — the
+  // caller defers the sweep, which degrades memory bounds, never safety.
   //
   // Concurrent handshakes coalesce on a global round counter (even = no
   // ping wave in flight, odd = a wave is open: a leader has broadcast and
@@ -134,15 +159,11 @@ class PopEngine final : public runtime::SignalClient {
   // per-thread re-pings after a patience interval. Safety never depends
   // on the round logic: the counter wait below is the paper's
   // waitForAllPublished() and is what actually certifies visibility.
-  int ping_all_and_wait(int self_tid) {
+  HandshakeResult ping_all_and_wait(int self_tid) {
+    HandshakeResult result;
     publish(self_tid);  // own reservations participate in the scan
 
     // collectPublishedCounters()
-    struct Waited {
-      int tid;
-      uint64_t counter_before;
-      uint64_t registry_epoch;
-    };
     Waited waited[runtime::kMaxThreads];
     int nwait = 0;
     auto& reg = runtime::ThreadRegistry::instance();
@@ -168,7 +189,6 @@ class PopEngine final : public runtime::SignalClient {
     // short patience interval for ~Nx fewer signal broadcasts when N
     // domains reclaim concurrently.
     auto& round = global_round();
-    int sent = 0;
     bool leading = false;
     uint64_t r = round.load(std::memory_order_acquire);
     while ((r & 1) == 0) {
@@ -176,7 +196,7 @@ class PopEngine final : public runtime::SignalClient {
                                       std::memory_order_acq_rel)) {
         // We lead: signal exactly the threads attached to this domain —
         // the set whose publish counters the wait below certifies.
-        sent = reg.ping_others(
+        result.sent = reg.ping_others(
             runtime::kPingSignal, [this](int t) { return attached(t); },
             [](int, uint64_t) {});
         leading = true;
@@ -196,9 +216,20 @@ class PopEngine final : public runtime::SignalClient {
     // Progressive patience: the first re-ping fires fast — a joiner whose
     // snapshot already contained some of the wave's publishes would
     // otherwise stall a full long interval on counters that will never
-    // advance again — then backs off so a genuinely slow thread is not
-    // bombarded.
-    uint32_t patience = kRepingPatienceFirst;
+    // advance again — then backs off exponentially so a genuinely slow
+    // thread is not bombarded. Both the first interval (env-tunable) and
+    // the backoff are per-wave state: progress resets to the fast
+    // interval, and nothing leaks into the next wave. (An earlier version
+    // jumped straight to the long interval on the first escalation and
+    // never restored the short one — a joiner stalling twice in one wave
+    // paid 16x the intended latency.)
+    const uint32_t patience_first = reping_patience_first();
+    uint32_t patience = patience_first;
+    // Watchdog: armed lazily at the first escalation (healthy waves never
+    // touch the clock or the environment), it bounds the total wait.
+    bool deadline_armed = false;
+    uint64_t timeout_ms = 0;
+    std::chrono::steady_clock::time_point armed_at{};
     while (remaining > 0) {
       bool progress = false;
       for (int i = 0; i < nwait; ++i) {
@@ -216,10 +247,27 @@ class PopEngine final : public runtime::SignalClient {
       if (remaining == 0) break;
       if (progress) {
         stalled_sweeps = 0;
+        patience = patience_first;
       } else if (++stalled_sweeps > patience) {
         stalled_sweeps = 0;
-        patience = kRepingPatience;
-        sent += reg.ping_others(
+        patience = patience < kRepingPatienceMax / 2 ? patience * 2
+                                                     : kRepingPatienceMax;
+        if (!deadline_armed) {
+          deadline_armed = true;
+          // Read per wave (not a cached static) so tests and benches can
+          // vary the deadline; escalations are rare enough that a getenv
+          // here is noise.
+          timeout_ms =
+              runtime::env_u64("POPSMR_PING_TIMEOUT_MS", kPingTimeoutMsDefault);
+          armed_at = std::chrono::steady_clock::now();
+        } else if (timeout_ms > 0 &&
+                   std::chrono::steady_clock::now() - armed_at >=
+                       std::chrono::milliseconds(timeout_ms)) {
+          classify_laggards(waited, done, nwait, remaining, timeout_ms,
+                            result);
+          continue;  // remaining is now 0
+        }
+        result.sent += reg.ping_others(
             runtime::kPingSignal,
             [&](int t) {
               for (int i = 0; i < nwait; ++i) {
@@ -240,7 +288,23 @@ class PopEngine final : public runtime::SignalClient {
     // Refresh our own counter: a joiner that snapshotted us after our
     // entry publish would otherwise have to escalate to unblock.
     publish(self_tid);
-    return sent;
+    return result;
+  }
+
+  // Neutralizes a certified-dead thread's engine state: clears its
+  // (stale) reservations, bumps its publish counter so any waiter
+  // snapshotting it unblocks, and drops the attach flag so future waves
+  // skip it. Only callable once the owner is certified gone (the
+  // DomainCore reaper's neutralize hook) — a dead thread never
+  // dereferences, so dropping its reservations frees nothing it can
+  // still touch.
+  void reap(int tid) {
+    for (int s = 0; s < num_slots_; ++s) {
+      local(tid, s).store(0, std::memory_order_relaxed);
+      shared_.at(tid, s).store(0, std::memory_order_release);
+    }
+    pt_[tid]->publish_counter.fetch_add(1, std::memory_order_release);
+    pt_[tid]->attached.store(false, std::memory_order_release);
   }
 
   // ---- shared-table queries (reclaimer side) ---------------------------------
@@ -280,10 +344,61 @@ class PopEngine final : public runtime::SignalClient {
   // No-progress sweeps before re-pinging the lagging threads directly.
   // The first interval is short (~128 spins + ~128 yields): it is the
   // recovery path for a joiner that can make no progress without a ping.
-  // Later intervals are long enough that an open wave's publishes
-  // (microseconds, plus scheduling) normally land first.
+  // Escalation doubles the interval per re-ping up to the max, so an
+  // open wave's publishes (microseconds, plus scheduling) normally land
+  // before the next re-ping while a genuinely stuck thread is not
+  // signal-bombed.
   static constexpr uint32_t kRepingPatienceFirst = 1u << 8;
-  static constexpr uint32_t kRepingPatience = 1u << 12;
+  static constexpr uint32_t kRepingPatienceMax = 1u << 12;
+  // Watchdog deadline when POPSMR_PING_TIMEOUT_MS is unset. Generous: a
+  // healthy handshake completes in microseconds even under sanitizers, so
+  // a second of silence means lost signals or a corpse — and a spurious
+  // expiry merely defers one sweep (safe by construction).
+  static constexpr uint64_t kPingTimeoutMsDefault = 1000;
+
+  // First-interval patience, env-tunable once per process: the knob exists
+  // for experiments sweeping handshake latency vs signal volume.
+  static uint32_t reping_patience_first() {
+    static const uint32_t v = static_cast<uint32_t>(runtime::env_u64(
+        "POPSMR_PING_PATIENCE", kRepingPatienceFirst));
+    return v == 0 ? 1 : v;
+  }
+
+  struct Waited {
+    int tid;
+    uint64_t counter_before;
+    uint64_t registry_epoch;
+  };
+
+  // Deadline expiry: resolve every remaining laggard one way or the
+  // other so the wave can close. Dead → certify (the registry epoch bump
+  // releases every other waiter on the corpse too) and skip; live →
+  // give up on this wave (timed_out) with a one-line diagnostic naming
+  // the stuck tid.
+  void classify_laggards(const Waited* waited, bool* done, int nwait,
+                         int& remaining, uint64_t timeout_ms,
+                         HandshakeResult& result) {
+    auto& reg = runtime::ThreadRegistry::instance();
+    for (int i = 0; i < nwait; ++i) {
+      if (done[i]) continue;
+      const auto& w = waited[i];
+      done[i] = true;
+      --remaining;
+      if (reg.slot_epoch(w.tid) != w.registry_epoch ||
+          reg.certify_zombie(w.tid, w.registry_epoch)) {
+        ++result.certified_dead;
+        continue;
+      }
+      result.timed_out = true;
+      std::fprintf(stderr,
+                   "popsmr: ping wave timed out after %llu ms: tid %d is "
+                   "alive but never published (heartbeat=%llu) — deferring "
+                   "this sweep\n",
+                   static_cast<unsigned long long>(timeout_ms), w.tid,
+                   static_cast<unsigned long long>(reg.heartbeat(w.tid)));
+    }
+  }
+
   std::atomic<uintptr_t>& local(int tid, int s) {
     return pt_[tid]->local_slots[s];
   }

@@ -72,6 +72,14 @@ class IKV {
   // reclaimer pings it and frees around its published reservations.
   virtual void park_in_operation(const std::atomic<bool>& release) = 0;
 
+  // Fault injection for the crash scenarios: opens an SMR operation
+  // bracket on the calling thread and returns WITHOUT closing it, as if
+  // the thread died mid-operation. The caller must let the thread exit
+  // immediately afterwards (no detach_thread) — this models a worker
+  // killed inside a critical section, the failure mode the zombie reaper
+  // exists to recover from. Default: no-op for adapters without a domain.
+  virtual void abandon_in_operation() {}
+
   virtual smr::StatsSnapshot smr_stats() const = 0;
 
   // Resize counters (grows/shrinks/current buckets). Non-zero grows or

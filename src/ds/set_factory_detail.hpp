@@ -47,6 +47,13 @@ class SetAdapter final : public IKV {
     }
     d.end_op();
   }
+  // Deliberately leaks the operation bracket: the thread is about to die
+  // without running end_op or detach, exactly like a crash inside a
+  // critical section. Whatever entry-time reservation the scheme makes
+  // (epoch/era announcement, BRC phase entry, NBR attach) stays armed
+  // until the zombie reaper certifies the corpse.
+  void abandon_in_operation() override { ds_.domain().begin_op(); }
+
   smr::StatsSnapshot smr_stats() const override {
     return const_cast<DsT&>(ds_).domain().stats();
   }

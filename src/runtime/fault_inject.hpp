@@ -1,0 +1,89 @@
+// Process-wide fault injection for robustness testing.
+//
+// The only fault modeled at this layer is *signal loss*: ping_others
+// consults should_drop() per target and, when armed, skips the
+// pthread_kill while still reporting the target as signalled — exactly
+// what a lost-in-flight POSIX signal looks like to the sender. Everything
+// downstream (re-ping escalation, the handshake watchdog, the zombie
+// reaper) must recover from that lie; the fault tests assert that it
+// does.
+//
+// Thread-kill faults need no runtime hook: the workload engine simply
+// lets a worker exit mid-operation-bracket without detaching (see
+// ds::IKV::abandon_in_operation), which is indistinguishable from a
+// genuine crash as far as the reclamation layer can observe.
+//
+// Disarmed (the default), the sender path costs one relaxed load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pop::runtime {
+
+class FaultInjection {
+ public:
+  static FaultInjection& instance() {
+    static FaultInjection f;  // leaked-on-exit singleton, like the registry
+    return f;
+  }
+
+  // Arms signal loss: pings to `victim_tid` (-1 = every target) are
+  // dropped with probability pct/100. pct outside [0,100] is clamped.
+  void arm_signal_loss(int pct, int victim_tid = -1) {
+    if (pct < 0) pct = 0;
+    if (pct > 100) pct = 100;
+    victim_.store(victim_tid, std::memory_order_relaxed);
+    loss_pct_.store(pct, std::memory_order_release);
+  }
+
+  void disarm() {
+    loss_pct_.store(0, std::memory_order_release);
+    victim_.store(-1, std::memory_order_relaxed);
+  }
+
+  bool armed() const {
+    return loss_pct_.load(std::memory_order_acquire) > 0;
+  }
+
+  // Sender-side check, one per (broadcast, target). Counts the drop so
+  // benches can report how many signals the fault actually ate.
+  bool should_drop(int target_tid) {
+    const int pct = loss_pct_.load(std::memory_order_relaxed);
+    if (pct <= 0) return false;
+    const int victim = victim_.load(std::memory_order_relaxed);
+    if (victim >= 0 && victim != target_tid) return false;
+    if (pct < 100 && static_cast<int>(next_rand() % 100) >= pct) return false;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  FaultInjection(const FaultInjection&) = delete;
+  FaultInjection& operator=(const FaultInjection&) = delete;
+
+ private:
+  FaultInjection() = default;
+
+  // splitmix64 over an atomic counter: concurrent senders draw
+  // independent values without a lock (statistical quality is all the
+  // drop decision needs).
+  uint64_t next_rand() {
+    uint64_t z = state_.fetch_add(0x9E3779B97F4A7C15ull,
+                                  std::memory_order_relaxed) +
+                 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::atomic<int> loss_pct_{0};
+  std::atomic<int> victim_{-1};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> state_{0x243F6A8885A308D3ull};
+};
+
+}  // namespace pop::runtime

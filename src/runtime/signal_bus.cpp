@@ -18,6 +18,15 @@ struct ClientTable {
   // but asynchronous) observes fully-constructed entries. std::atomic of a
   // pointer is lock-free and therefore async-signal-safe.
   std::atomic<SignalClient*> slots[kMaxClientsPerThread] = {};
+  // Detach-in-flight marker, closing the delivery/detach race: detach()
+  // publishes the client here *before* touching the slot array, and the
+  // handler completes any marked detach at entry (nulling the slot on the
+  // interrupted code's behalf) before it walks a single client. Without
+  // this, a handler that interrupts detach() mid-walk and then leaves via
+  // a client's siglongjmp (NBR neutralization) abandons the detach frame
+  // with the stale pointer still in the table — the next ping would call
+  // on_ping through a client that may since have been destroyed.
+  std::atomic<SignalClient*> pending_detach{nullptr};
 };
 
 thread_local ClientTable t_clients;
@@ -52,6 +61,25 @@ void SignalBus::handler(int) {
   if (tid < 0) {
     errno = saved_errno;
     return;
+  }
+  // Liveness evidence for the zombie reaper: every delivery advances the
+  // receiving thread's registry heartbeat (lock-free atomic increment,
+  // async-signal-safe).
+  ThreadRegistry::instance().heartbeat_bump(tid);
+  // Complete any detach this delivery interrupted BEFORE running clients:
+  // a client below may siglongjmp and never return control to the
+  // interrupted detach() frame, so this is the only point guaranteed to
+  // finish the removal. Same-thread atomics; no client has run yet, so no
+  // jump can bypass this cleanup.
+  SignalClient* pending =
+      t_clients.pending_detach.load(std::memory_order_acquire);
+  if (pending != nullptr) {
+    for (auto& slot : t_clients.slots) {
+      if (slot.load(std::memory_order_relaxed) == pending) {
+        slot.store(nullptr, std::memory_order_release);
+      }
+    }
+    t_clients.pending_detach.store(nullptr, std::memory_order_release);
   }
   for (auto& slot : t_clients.slots) {
     SignalClient* c = slot.load(std::memory_order_acquire);
@@ -94,12 +122,23 @@ void SignalBus::attach(SignalClient* c) {
 }
 
 void SignalBus::detach(SignalClient* c) {
+  // Publish intent first: from here on, a delivery that interrupts this
+  // frame finishes the removal itself (see handler), so even a
+  // siglongjmp-abandoned detach leaves the table clean.
+  t_clients.pending_detach.store(c, std::memory_order_release);
   for (auto& slot : t_clients.slots) {
     if (slot.load(std::memory_order_relaxed) == c) {
       slot.store(nullptr, std::memory_order_release);
-      return;
+      break;
     }
   }
+  // CAS, not a plain clear: if a handler already completed this detach it
+  // also cleared the marker, and a plain store could wipe a *newer*
+  // marker in exotic nestings. Failure means the work is already done.
+  SignalClient* expected = c;
+  t_clients.pending_detach.compare_exchange_strong(
+      expected, nullptr, std::memory_order_acq_rel,
+      std::memory_order_relaxed);
 }
 
 bool SignalBus::attached(SignalClient* c) const {

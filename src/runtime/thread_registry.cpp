@@ -1,5 +1,9 @@
 #include "runtime/thread_registry.hpp"
 
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -66,6 +70,9 @@ int ThreadRegistry::register_current_thread() {
   }
   auto& s = *slots_[tid];
   s.handle = pthread_self();
+  s.ktid.store(static_cast<pid_t>(syscall(SYS_gettid)),
+               std::memory_order_relaxed);
+  s.heartbeat.fetch_add(1, std::memory_order_relaxed);
   s.epoch.fetch_add(1, std::memory_order_release);
   s.alive.store(true, std::memory_order_release);
   int hi = max_tid_.load(std::memory_order_relaxed);
@@ -86,6 +93,47 @@ void ThreadRegistry::deregister(int tid) {
   s.epoch.fetch_add(1, std::memory_order_release);
   live_.fetch_sub(1, std::memory_order_relaxed);
   unlock();
+}
+
+void ThreadRegistry::detail_abandon_registration() {
+  // Disarm the RAII holder first: once tid is -1 the TLS destructor is a
+  // no-op, so the slot outlives the thread in the registered state.
+  t_tid.tid = -1;
+  detail::t_cached_tid = -1;
+}
+
+bool ThreadRegistry::kernel_dead(int tid) {
+  auto& s = *slots_[tid];
+  if (!s.alive.load(std::memory_order_acquire)) return false;
+  const pid_t kt = s.ktid.load(std::memory_order_relaxed);
+  if (kt <= 0) return false;
+  // tgkill with sig 0 performs existence+permission checks only. ESRCH is
+  // the only verdict that certifies death; any other failure (or success)
+  // reads as "alive" so a probe error can never cause a wrongful reap.
+  errno = 0;
+  return syscall(SYS_tgkill, getpid(), kt, 0) != 0 && errno == ESRCH;
+}
+
+bool ThreadRegistry::certify_zombie(int tid, uint64_t owner_epoch) {
+  lock();
+  auto& s = *slots_[tid];
+  const bool zombie = s.alive.load(std::memory_order_relaxed) &&
+                      s.epoch.load(std::memory_order_relaxed) == owner_epoch &&
+                      kernel_dead(tid);
+  if (zombie) {
+    // Same transition as deregister(), performed on the corpse's behalf.
+    // Holding the registry lock excludes a concurrent broadcast from
+    // pthread_kill-ing the (dangling) handle mid-certification.
+    s.alive.store(false, std::memory_order_release);
+    s.epoch.fetch_add(1, std::memory_order_release);
+    live_.fetch_sub(1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "popsmr: certified zombie tid %d (kernel thread gone "
+                 "without deregistering); slot reclaimed\n",
+                 tid);
+  }
+  unlock();
+  return zombie;
 }
 
 }  // namespace pop::runtime

@@ -13,10 +13,12 @@
 
 #include <pthread.h>
 #include <signal.h>  // pthread_kill
+#include <sys/types.h>  // pid_t
 
 #include <atomic>
 #include <cstdint>
 
+#include "runtime/fault_inject.hpp"
 #include "runtime/padded.hpp"
 
 namespace pop::runtime {
@@ -52,6 +54,46 @@ class ThreadRegistry {
     return slots_[tid]->epoch.load(std::memory_order_acquire);
   }
 
+  // ---- liveness probe (the zombie reaper's certification rail) -----------
+
+  // Per-slot heartbeat: bumped by the owning thread on every operation
+  // bracket (DomainCore::attach_if_new) and on every signal delivery
+  // (SignalBus handler). Async-signal-safe: a lock-free atomic increment.
+  // Reapers use staleness across scans to gate the kernel probe below —
+  // a frozen heartbeat is *suspicion*, never proof (a legitimately parked
+  // reader freezes too); only the kernel's verdict certifies death.
+  void heartbeat_bump(int tid) {
+    slots_[tid]->heartbeat.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t heartbeat(int tid) const {
+    return slots_[tid]->heartbeat.load(std::memory_order_relaxed);
+  }
+
+  // Kernel verdict on a registered slot: true iff the slot is currently
+  // owned and tgkill(sig 0) says the owning kernel thread no longer
+  // exists — i.e. the thread died without running its TLS destructor
+  // (async kill, cancellation). A recycled kernel tid makes this answer
+  // "alive", which is the conservative (never-reap) direction.
+  bool kernel_dead(int tid);
+
+  // True iff the thread that owned `tid` at `owner_epoch` is gone: the
+  // slot was deregistered or recycled (epoch moved), or the owner is
+  // kernel-dead while still registered. This is the reaper's
+  // certification predicate; a `false` means the owner may still take
+  // references and its state must not be touched.
+  bool owner_departed(int tid, uint64_t owner_epoch) {
+    if (slot_epoch(tid) != owner_epoch) return true;   // deregistered/recycled
+    if (!alive(tid)) return true;                      // mid-deregister
+    return kernel_dead(tid);
+  }
+
+  // Force-deregisters a slot whose owner (at `owner_epoch`) is kernel-dead
+  // but still registered — its TLS destructor never ran. Bumping the
+  // epoch here is what releases every epoch-staleness wait loop (POP
+  // handshake, NBR ack round) from the corpse. Returns true iff this call
+  // performed the deregistration.
+  bool certify_zombie(int tid, uint64_t owner_epoch);
+
   // Sends `sig` to every live registered thread except the caller for
   // which filter(tid) is true, invoking fn(tid, epoch) per signalled
   // thread. Runs under the registry lock: targets cannot deregister (or
@@ -68,10 +110,19 @@ class ThreadRegistry {
     lock();
     int sent = 0;
     const int hi = max_tid_.load(std::memory_order_acquire);
+    auto& faults = FaultInjection::instance();
     for (int t = 0; t <= hi; ++t) {
       auto& s = *slots_[t];
       if (t == self || !s.alive.load(std::memory_order_acquire)) continue;
       if (!filter(t)) continue;
+      // Injected signal loss: the kill is skipped but the target still
+      // counts as signalled — the sender must not be able to tell a
+      // dropped signal from a delivered one (that is the fault model).
+      if (faults.should_drop(t)) {
+        fn(t, s.epoch.load(std::memory_order_relaxed));
+        ++sent;
+        continue;
+      }
       if (pthread_kill(s.handle, sig) == 0) {
         fn(t, s.epoch.load(std::memory_order_relaxed));
         ++sent;
@@ -84,6 +135,14 @@ class ThreadRegistry {
   // Async-signal-safe read of the calling thread's cached id; -1 when the
   // thread is not currently registered (never registers).
   static int detail_cached_tid() noexcept { return detail::t_cached_tid; }
+
+  // Fault-injection hook: forgets the calling thread's registration
+  // WITHOUT releasing the slot. When the thread then exits, its slot
+  // stays registered while the kernel thread disappears — exactly the
+  // zombie state (TLS destructor never ran) that the reaper's tgkill
+  // certification exists for. The slot is unrecoverable except through
+  // certify_zombie. Test/bench use only.
+  void detail_abandon_registration();
 
   // Largest tid ever assigned (inclusive); bounds scan loops.
   int max_tid() const { return max_tid_.load(std::memory_order_acquire); }
@@ -100,6 +159,12 @@ class ThreadRegistry {
   struct Slot {
     std::atomic<bool> alive{false};
     std::atomic<uint64_t> epoch{0};
+    std::atomic<uint64_t> heartbeat{0};
+    // Kernel thread id of the current owner, for the tgkill(sig 0) probe.
+    // pthread_t can outlive its thread in unspecified ways; the kernel id
+    // is safe to probe after death (worst case it aliases a new thread,
+    // which reads as "alive" — the conservative direction).
+    std::atomic<pid_t> ktid{0};
     pthread_t handle{};
   };
 

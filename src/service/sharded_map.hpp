@@ -90,6 +90,9 @@ class ShardedMap final : public ds::IKV {
     shards_[0]->park_in_operation(release);
   }
 
+  // Dies inside shard 0's domain (same shard choice as the stall fault).
+  void abandon_in_operation() override { shards_[0]->abandon_in_operation(); }
+
   smr::StatsSnapshot smr_stats() const override;
   // Roll-up over shards: grows/shrinks sum, buckets is the total across
   // shards (each shard resizes independently on its own load).

@@ -9,10 +9,12 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstdio>
 #include <memory>
 #include <type_traits>
 #include <utility>
 
+#include "runtime/env.hpp"
 #include "runtime/padded.hpp"
 #include "runtime/pool_alloc.hpp"
 #include "runtime/thread_registry.hpp"
@@ -24,7 +26,11 @@ namespace pop::smr {
 
 class DomainCore {
  public:
-  explicit DomainCore(const SmrConfig& cfg) : cfg_(cfg) {}
+  explicit DomainCore(const SmrConfig& cfg)
+      : cfg_(cfg),
+        pressure_bound_(cfg.pressure_bound != 0
+                            ? cfg.pressure_bound
+                            : runtime::env_u64("POPSMR_PRESSURE_BOUND", 0)) {}
 
   ~DomainCore() {
     // The owning data structure has been (or is being) destroyed: nothing
@@ -42,19 +48,23 @@ class DomainCore {
 
   const SmrConfig& config() const { return cfg_; }
 
-  // True exactly once per (thread, domain): the caller runs its
-  // scheme-specific attach work when this returns true.
+  // True exactly once per (thread, domain) *ownership*: the caller runs
+  // its scheme-specific attach work when this returns true. Ownership is
+  // epoch-aware: if the slot's recorded owner departed without detaching
+  // (a killed worker) and the registry recycled the tid to the calling
+  // thread, this returns true again — the new owner re-initializes the
+  // scheme state instead of silently inheriting a corpse's reservations.
+  // The fast path also feeds the reaper's heartbeat (one relaxed
+  // increment on the thread's own registry line per operation bracket).
   bool attach_if_new(int tid) {
+    auto& reg = runtime::ThreadRegistry::instance();
+    reg.heartbeat_bump(tid);
     auto& pt = *pt_[tid];
-    if (pt.attached.load(std::memory_order_relaxed)) return false;
-    // High-water mark of attached tids, raised before the attach flag so
-    // teardown/snapshot sweeps bounded by it can never miss this slot.
-    int hw = hi_tid_.load(std::memory_order_relaxed);
-    while (hw < tid &&
-           !hi_tid_.compare_exchange_weak(hw, tid, std::memory_order_acq_rel)) {
+    if (pt.attached.load(std::memory_order_relaxed) &&
+        pt.owner_epoch.load(std::memory_order_relaxed) == reg.slot_epoch(tid)) {
+      return false;
     }
-    pt.attached.store(true, std::memory_order_release);
-    return true;
+    return attach_slow(tid);
   }
 
   void mark_detached(int tid) {
@@ -64,6 +74,120 @@ class DomainCore {
   bool attached(int tid) const {
     return pt_[tid]->attached.load(std::memory_order_acquire);
   }
+
+  // Registry epoch recorded for the thread that owns `tid`'s state here.
+  uint64_t owner_epoch(int tid) const {
+    return pt_[tid]->owner_epoch.load(std::memory_order_relaxed);
+  }
+
+  // True iff `tid` is attached but its recorded owner is certified gone
+  // (exited without detaching, or kernel-dead). Cheap enough for wait
+  // loops: the common live-owner answer needs no syscall when the
+  // heartbeat is advancing.
+  bool owner_departed(int tid) {
+    auto& pt = *pt_[tid];
+    if (!pt.attached.load(std::memory_order_acquire)) return false;
+    return runtime::ThreadRegistry::instance().owner_departed(
+        tid, pt.owner_epoch.load(std::memory_order_relaxed));
+  }
+
+  // ---- zombie reaper -----------------------------------------------------
+  //
+  // Certifies attached tids whose owner is gone, neutralizes their
+  // scheme-level reservation state via `neutralize(tid)`, and adopts
+  // their orphaned retire lists into the calling thread's list so the
+  // backlog rejoins normal sweeps. Certification rules, in order:
+  //   1. registry slot epoch moved past the recorded owner epoch — the
+  //      owner deregistered (normal exit without detach) or the slot was
+  //      recycled; either way the recorded owner can never return.
+  //   2. owner still registered but its heartbeat froze across
+  //      kStaleScansBeforeProbe reap passes AND tgkill(sig 0) says the
+  //      kernel thread is gone (TLS destructor never ran). The heartbeat
+  //      gate keeps the syscall off the common path; tgkill alone
+  //      certifies (a parked-but-live reader probes as alive).
+  // Runs under a try-lock: reaps are rare, and skipping when another
+  // thread is already reaping (or an attacher holds the lock) is always
+  // safe — the next pass retries. Call from reclamation passes, before
+  // computing the protected set, so neutralized state frees same-pass.
+  template <class Neutralize>
+  void reap_dead(int self_tid, Neutralize&& neutralize) {
+    if (reap_mu_.exchange(true, std::memory_order_acquire)) return;
+    auto& reg = runtime::ThreadRegistry::instance();
+    const int hi = hi_tid_.load(std::memory_order_acquire);
+    for (int t = 0; t <= hi; ++t) {
+      if (t == self_tid) continue;
+      auto& pt = *pt_[t];
+      if (!pt.attached.load(std::memory_order_acquire)) continue;
+      const uint64_t owner = pt.owner_epoch.load(std::memory_order_relaxed);
+      bool departed = reg.slot_epoch(t) != owner || !reg.alive(t);
+      if (!departed) {
+        // Same owner, still registered: suspicion requires a frozen
+        // heartbeat across passes before the kernel probe is spent.
+        const uint64_t hb = reg.heartbeat(t);
+        if (hb != reap_hb_[t]) {
+          reap_hb_[t] = hb;
+          reap_stale_[t] = 0;
+          continue;
+        }
+        if (++reap_stale_[t] < kStaleScansBeforeProbe) continue;
+        reap_stale_[t] = 0;
+        if (!reg.certify_zombie(t, owner)) continue;
+        departed = true;
+      }
+      neutralize(t);
+      const uint64_t adopted = pt_[self_tid]->retire.adopt(pt.retire);
+      pt.attached.store(false, std::memory_order_release);
+      auto& st = pt_[self_tid]->stats;
+      st.tids_reaped += 1;
+      st.orphans_adopted += adopted;
+      std::fprintf(stderr,
+                   "popsmr: reaped dead tid %d (adopted %llu orphaned "
+                   "retires)\n",
+                   t, static_cast<unsigned long long>(adopted));
+    }
+    reap_mu_.store(false, std::memory_order_release);
+  }
+
+  // ---- memory-pressure backstop ------------------------------------------
+  //
+  // Returns true when the caller should run a forced reclamation pass:
+  // the domain-wide unreclaimed count exceeds the configured bound. The
+  // hot path pays one counter increment; the snapshot only runs every
+  // kPressureCheckEvery retires. Callers follow a forced pass with
+  // pressure_relieved_or_warn() — if the pass could not get back under
+  // the bound (a pinned reservation legitimately holds nodes), the
+  // backstop degrades to defer-and-warn rather than blocking or looping.
+  bool pressure_check(int tid) {
+    if (pressure_bound_ == 0) return false;
+    auto& pt = *pt_[tid];
+    if ((++pt.pressure_tick % kPressureCheckEvery) != 0) return false;
+    if (stats_snapshot().unreclaimed() <= pressure_bound_) {
+      pt.pressure_warned = false;
+      return false;
+    }
+    pt.stats.pressure_events += 1;
+    return true;
+  }
+
+  void pressure_relieved_or_warn(int tid) {
+    auto& pt = *pt_[tid];
+    pt.stats.forced_handshakes += 1;
+    const uint64_t now = stats_snapshot().unreclaimed();
+    if (now <= pressure_bound_) {
+      pt.pressure_warned = false;
+      return;
+    }
+    if (!pt.pressure_warned) {
+      pt.pressure_warned = true;
+      std::fprintf(stderr,
+                   "popsmr: memory pressure persists after forced pass "
+                   "(unreclaimed=%llu > bound=%llu); deferring\n",
+                   static_cast<unsigned long long>(now),
+                   static_cast<unsigned long long>(pressure_bound_));
+    }
+  }
+
+  uint64_t pressure_bound() const { return pressure_bound_; }
 
   // Allocates and constructs a node, stamping its birth era.
   template <class T, class... Args>
@@ -161,16 +285,57 @@ class DomainCore {
   DomainCore& operator=(const DomainCore&) = delete;
 
  private:
+  // Heartbeat-frozen reap passes before spending a tgkill probe on a
+  // same-epoch registered laggard.
+  static constexpr uint8_t kStaleScansBeforeProbe = 2;
+  // Retires between domain-wide unreclaimed snapshots for the pressure
+  // backstop (the snapshot walks hi_tid_ slots).
+  static constexpr uint64_t kPressureCheckEvery = 32;
+
   struct PerThread {
     RetireList retire;
     ThreadStats stats;
     uint64_t retire_count = 0;  // owner-thread only
+    uint64_t pressure_tick = 0;  // owner-thread only
+    bool pressure_warned = false;  // owner-thread only
     std::unique_ptr<uintptr_t[]> scan_scratch;  // owner-thread only
     std::atomic<bool> attached{false};
+    // Registry epoch of the thread this slot's state belongs to; lets the
+    // reaper (and a recycled-tid attacher) tell a live owner from a
+    // corpse. Relaxed everywhere: change-detection only.
+    std::atomic<uint64_t> owner_epoch{0};
   };
 
+  // Slow path of attach_if_new: first attach, or takeover of a slot whose
+  // previous owner departed without detaching. Serialized against
+  // reap_dead by the reap lock so a reaper can never neutralize state the
+  // new owner just initialized (and vice versa).
+  bool attach_slow(int tid) {
+    auto& reg = runtime::ThreadRegistry::instance();
+    while (reap_mu_.exchange(true, std::memory_order_acquire)) {
+      while (reap_mu_.load(std::memory_order_relaxed)) {
+      }
+    }
+    auto& pt = *pt_[tid];
+    // High-water mark of attached tids, raised before the attach flag so
+    // teardown/snapshot sweeps bounded by it can never miss this slot.
+    int hw = hi_tid_.load(std::memory_order_relaxed);
+    while (hw < tid &&
+           !hi_tid_.compare_exchange_weak(hw, tid, std::memory_order_acq_rel)) {
+    }
+    pt.owner_epoch.store(reg.slot_epoch(tid), std::memory_order_relaxed);
+    pt.attached.store(true, std::memory_order_release);
+    reap_mu_.store(false, std::memory_order_release);
+    return true;
+  }
+
   SmrConfig cfg_;
+  uint64_t pressure_bound_;
   std::atomic<int> hi_tid_{-1};
+  std::atomic<bool> reap_mu_{false};
+  // Reaper bookkeeping, guarded by reap_mu_ (no atomics needed).
+  uint64_t reap_hb_[runtime::kMaxThreads] = {};
+  uint8_t reap_stale_[runtime::kMaxThreads] = {};
   runtime::Padded<PerThread> pt_[runtime::kMaxThreads];
 };
 

@@ -72,6 +72,10 @@ class EbrDomain {
     const uint64_t e = epoch_.load(std::memory_order_acquire);
     if (core_.retire_push(tid, n, e) % core_.config().retire_threshold == 0) {
       scan(tid);
+    } else if (core_.pressure_check(tid)) {
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+      scan(tid);
+      core_.pressure_relieved_or_warn(tid);
     }
   }
 
@@ -86,6 +90,11 @@ class EbrDomain {
 
  private:
   void scan(int tid) {
+    // A corpse that died inside an operation pins the minimum epoch
+    // forever; certify and park it at quiescent before computing the min.
+    core_.reap_dead(tid, [this](int t) {
+      reserved_[t]->v.store(kQuiescent, std::memory_order_release);
+    });
     uint64_t min_reserved = kQuiescent;
     const int hi = runtime::ThreadRegistry::instance().max_tid();
     for (int t = 0; t <= hi; ++t) {

@@ -26,7 +26,13 @@ class HeDomain {
 
   explicit HeDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
 
-  void attach() { core_.attach_if_new(runtime::my_tid()); }
+  void attach() {
+    const int tid = runtime::my_tid();
+    if (core_.attach_if_new(tid)) {
+      // Drop era reservations a dead previous owner of this tid left.
+      slots_.clear_row(tid, core_.config().num_slots);
+    }
+  }
   void detach() {
     const int tid = runtime::my_tid();
     slots_.clear_row(tid, core_.config().num_slots);
@@ -73,6 +79,10 @@ class HeDomain {
     if (core_.retire_tick(tid) % core_.config().retire_threshold == 0) {
       era_.fetch_add(1, std::memory_order_acq_rel);  // Alg. 4 line 21
       scan(tid);
+    } else if (core_.pressure_check(tid)) {
+      era_.fetch_add(1, std::memory_order_acq_rel);
+      scan(tid);
+      core_.pressure_relieved_or_warn(tid);
     }
   }
 
@@ -85,6 +95,9 @@ class HeDomain {
 
  private:
   void scan(int tid) {
+    core_.reap_dead(tid, [this](int t) {
+      slots_.clear_row(t, core_.config().num_slots);
+    });
     uintptr_t* eras = core_.scan_scratch(tid);
     const int n = slots_.collect(core_.config().num_slots, eras);  // sorted
     auto& st = core_.stats(tid);

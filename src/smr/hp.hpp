@@ -24,7 +24,14 @@ class HpDomain {
 
   explicit HpDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
 
-  void attach() { core_.attach_if_new(runtime::my_tid()); }
+  void attach() {
+    const int tid = runtime::my_tid();
+    if (core_.attach_if_new(tid)) {
+      // Fresh attach or recycled-tid takeover: drop any slot values left
+      // by a dead previous owner (they only pin memory, never protect us).
+      slots_.clear_row(tid, core_.config().num_slots);
+    }
+  }
   void detach() {
     const int tid = runtime::my_tid();
     slots_.clear_row(tid, core_.config().num_slots);
@@ -70,6 +77,9 @@ class HpDomain {
     core_.retire_push(tid, n, 0);
     if (core_.retire_tick(tid) % core_.config().retire_threshold == 0) {
       scan(tid);
+    } else if (core_.pressure_check(tid)) {
+      scan(tid);
+      core_.pressure_relieved_or_warn(tid);
     }
   }
 
@@ -81,6 +91,9 @@ class HpDomain {
 
  private:
   void scan(int tid) {
+    core_.reap_dead(tid, [this](int t) {
+      slots_.clear_row(t, core_.config().num_slots);
+    });
     uintptr_t* reserved = core_.scan_scratch(tid);
     const int n = slots_.collect(core_.config().num_slots, reserved);
     auto& st = core_.stats(tid);

@@ -28,7 +28,10 @@ class HpAsymDomain {
   explicit HpAsymDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
 
   void attach() {
-    if (core_.attach_if_new(runtime::my_tid())) {
+    const int tid = runtime::my_tid();
+    if (core_.attach_if_new(tid)) {
+      // Drop slot values a dead previous owner of this tid may have left.
+      slots_.clear_row(tid, core_.config().num_slots);
       // The signal-broadcast fallback must be able to reach this thread.
       runtime::detail::attach_barrier_client_for_current_thread();
     }
@@ -78,6 +81,9 @@ class HpAsymDomain {
     core_.retire_push(tid, n, 0);
     if (core_.retire_tick(tid) % core_.config().retire_threshold == 0) {
       scan(tid);
+    } else if (core_.pressure_check(tid)) {
+      scan(tid);
+      core_.pressure_relieved_or_warn(tid);
     }
   }
 
@@ -89,6 +95,9 @@ class HpAsymDomain {
 
  private:
   void scan(int tid) {
+    core_.reap_dead(tid, [this](int t) {
+      slots_.clear_row(t, core_.config().num_slots);
+    });
     // Make every reader's published-but-unfenced reservation visible.
     runtime::AsymFence::instance().heavy_fence();
     uintptr_t* reserved = core_.scan_scratch(tid);

@@ -33,7 +33,16 @@ class BrcDomain {
 
   explicit BrcDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
 
-  void attach() { core_.attach_if_new(runtime::my_tid()); }
+  void attach() {
+    const int tid = runtime::my_tid();
+    if (core_.attach_if_new(tid)) {
+      // Takeover of a recycled tid: the dead previous owner may have died
+      // inside a critical section, leaving enters > exits. Balance the
+      // shard before this thread's first announcement or every future
+      // drain of that phase spins forever.
+      balance_corpse(tid);
+    }
+  }
   void detach() { core_.mark_detached(runtime::my_tid()); }
 
   void begin_op() {
@@ -80,6 +89,10 @@ class BrcDomain {
     if (pt.reclaim_pending) {
       pt.reclaim_pending = false;
       reclaim(tid);
+      if (pt.pressure_forced) {
+        pt.pressure_forced = false;
+        core_.pressure_relieved_or_warn(tid);
+      }
     }
   }
 
@@ -99,6 +112,11 @@ class BrcDomain {
     const int tid = runtime::my_tid();
     if (core_.retire_push(tid, n, 0) >= core_.config().retire_threshold) {
       pt_[tid]->reclaim_pending = true;  // executed at end_op
+    } else if (core_.pressure_check(tid)) {
+      // Grace periods block, so even the forced pass must wait for
+      // end_op; mark it so the backstop accounting runs after the pass.
+      pt_[tid]->reclaim_pending = true;
+      pt_[tid]->pressure_forced = true;
     }
   }
 
@@ -113,6 +131,7 @@ class BrcDomain {
   // section when reclaim() began has exited, so every node unlinked and
   // retired before that point is unreferenced.
   void reclaim(int tid) {
+    core_.reap_dead(tid, [this](int t) { balance_corpse(t); });
     for (int round = 0; round < 2; ++round) {
       // seq_cst flip: orders against readers' announce-and-revalidate
       // (begin_op) so a reader whose entry predates the flip is always
@@ -126,11 +145,12 @@ class BrcDomain {
     st.freed += core_.sweep_retired(tid, [](Reclaimable*) { return true; });
   }
 
-  void drain(uint32_t p, int /*self*/) {
+  void drain(uint32_t p, int self) {
     const int hi = runtime::ThreadRegistry::instance().max_tid();
     for (int t = 0; t <= hi; ++t) {
       auto& pt = *pt_[t];
       runtime::SpinThenYield waiter;
+      uint32_t spins = 0;
       // Late entries into phase p (threads that read the phase just before
       // the flip) still increment enters[p] and eventually exits[p]; spin
       // until the shard balances. seq_cst reads: an entry store that is
@@ -138,8 +158,30 @@ class BrcDomain {
       // revalidation load would have seen the flip and withdrawn.
       while (pt.exits[p].load(std::memory_order_seq_cst) !=
              pt.enters[p].load(std::memory_order_seq_cst)) {
+        // A thread that died inside its critical section never exits —
+        // without this escape the grace period livelocks on the corpse.
+        // Route the balancing through the reaper (never balance in place
+        // here): reap_dead re-checks ownership under the lock that
+        // serializes recycled-tid takeovers, so a just-attached new owner
+        // cannot have its counters clobbered by a stale corpse snapshot.
+        if ((++spins & 1023u) == 0 && core_.owner_departed(t)) {
+          core_.reap_dead(self, [this](int z) { balance_corpse(z); });
+          continue;  // certification may need further passes; re-test
+        }
         waiter.wait();
       }
+    }
+  }
+
+  // Balances both phase shards of a departed owner's slot: the corpse can
+  // never run its exits, and a frozen enters>exits blocks every future
+  // grace period. Called only under the domain reap lock (reap_dead /
+  // takeover attach), where the counters cannot move concurrently.
+  void balance_corpse(int t) {
+    auto& pt = *pt_[t];
+    for (int p = 0; p < 2; ++p) {
+      pt.exits[p].store(pt.enters[p].load(std::memory_order_relaxed),
+                        std::memory_order_release);
     }
   }
 
@@ -148,6 +190,7 @@ class BrcDomain {
     std::atomic<uint64_t> exits[2] = {};
     uint32_t my_phase = 0;
     bool reclaim_pending = false;
+    bool pressure_forced = false;  // owner-thread only
   };
 
   DomainCore core_;

@@ -76,6 +76,10 @@ class IbrDomain {
     core_.retire_push(tid, n, e);
     if (core_.retire_tick(tid) % core_.config().retire_threshold == 0) {
       scan(tid);
+    } else if (core_.pressure_check(tid)) {
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+      scan(tid);
+      core_.pressure_relieved_or_warn(tid);
     }
   }
 
@@ -95,6 +99,9 @@ class IbrDomain {
   }
 
   void scan(int tid) {
+    // A corpse that died mid-operation holds its interval open forever;
+    // certify it and empty the interval before collecting reservations.
+    core_.reap_dead(tid, [this](int t) { quiesce(t); });
     struct Range {
       uint64_t lo, hi;
     };

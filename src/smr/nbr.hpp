@@ -46,6 +46,8 @@ class NbrDomain final : public runtime::SignalClient {
     const int tid = runtime::my_tid();
     if (core_.attach_if_new(tid)) {
       auto& pt = *pt_[tid];
+      // Takeover of a recycled tid: drop the dead owner's published slots.
+      slots_.clear_row(tid, core_.config().num_slots);
       pt.read_phase.store(false, std::memory_order_relaxed);
       pt.write_phase.store(false, std::memory_order_relaxed);
       // Relaxed atomic: a reclaimer snapshotting a recycled tid mid-attach
@@ -162,6 +164,14 @@ class NbrDomain final : public runtime::SignalClient {
       } else {
         pt_[tid]->reclaim_deferred = true;
       }
+    } else if (core_.pressure_check(tid)) {
+      // Same neutralization rule as above: never sweep from a read phase.
+      if (!pt_[tid]->read_phase.load(std::memory_order_relaxed)) {
+        reclaim(tid);
+        core_.pressure_relieved_or_warn(tid);
+      } else {
+        pt_[tid]->reclaim_deferred = true;
+      }
     }
   }
 
@@ -191,6 +201,12 @@ class NbrDomain final : public runtime::SignalClient {
  private:
   void reclaim(int tid) {
     auto& st = core_.stats(tid);
+    // A corpse can never acknowledge: certify it, drop its published
+    // slots, and bump its ack so any concurrent reclaimer's wait releases.
+    core_.reap_dead(tid, [this](int t) {
+      slots_.clear_row(t, core_.config().num_slots);
+      pt_[t]->ack.fetch_add(1, std::memory_order_release);
+    });
     // Snapshot acks, ping everyone, wait for all to acknowledge (either by
     // restarting out of a read phase or by fencing through the handler).
     struct Waited {
@@ -213,10 +229,18 @@ class NbrDomain final : public runtime::SignalClient {
     for (int i = 0; i < nwait; ++i) {
       const auto& w = waited[i];
       runtime::SpinThenYield waiter;
+      uint32_t spins = 0;
       while (pt_[w.tid]->ack.load(std::memory_order_acquire) ==
                  w.ack_before &&
              core_.attached(w.tid) &&
              reg.slot_epoch(w.tid) == w.registry_epoch) {
+        // Periodic kernel-liveness probe: a thread that died mid-phase
+        // will never ack, and only this escape (or a later certification)
+        // ends the wait. Cheap relative to the yield-dominated loop.
+        if ((++spins & 1023u) == 0 &&
+            reg.owner_departed(w.tid, w.registry_epoch)) {
+          break;
+        }
         waiter.wait();
       }
     }

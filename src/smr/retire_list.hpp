@@ -90,6 +90,26 @@ class RetireList {
     return sweep_batch([](Reclaimable*) { return true; }, batch);
   }
 
+  // Splices `other`'s entire chain into this list, leaving `other` empty;
+  // returns the number of nodes adopted. Used by the zombie reaper: a
+  // dead thread's orphaned retire list moves wholesale into a surviving
+  // thread's list so its backlog rejoins normal sweeps. The caller must
+  // guarantee nobody else is touching either list (single-owner rule —
+  // the reaper holds the domain reap lock and the old owner is dead).
+  uint64_t adopt(RetireList& other) noexcept {
+    Reclaimable* stolen = other.head_;
+    if (stolen == nullptr) return 0;
+    const uint64_t n = other.len_;
+    Reclaimable* tail = stolen;
+    while (tail->rl_next != nullptr) tail = tail->rl_next;
+    tail->rl_next = head_;
+    head_ = stolen;
+    len_ += n;
+    other.head_ = nullptr;
+    other.len_ = 0;
+    return n;
+  }
+
  private:
   Reclaimable* head_ = nullptr;
   uint64_t len_ = 0;

@@ -21,6 +21,14 @@ struct SmrConfig {
   // EpochPOP's C: the POP fallback fires when the retire list reaches
   // C * retire_threshold despite EBR-mode reclamation.
   uint64_t pop_multiplier = 2;
+
+  // Memory-pressure backstop: when the domain-wide unreclaimed count
+  // (retired - freed) exceeds this bound, the next retire forces a
+  // reclamation pass regardless of the normal cadence, then degrades to
+  // defer-and-warn if the pass cannot relieve the pressure (a pinned
+  // reservation can legitimately hold nodes). 0 = use the
+  // POPSMR_PRESSURE_BOUND environment override, or no bound if unset.
+  uint64_t pressure_bound = 0;
 };
 
 // Per-thread counters; aggregated into a snapshot for reporting. Plain
@@ -36,6 +44,11 @@ struct ThreadStats {
   uint64_t ebr_frees = 0;        // EpochPOP: freed on the epoch fast path
   uint64_t pop_frees = 0;        // EpochPOP: freed via the POP fallback
   uint64_t max_retire_len = 0;   // high-watermark of the retire list
+  uint64_t waves_timed_out = 0;  // handshakes abandoned at the deadline
+  uint64_t tids_reaped = 0;      // dead tids certified + neutralized
+  uint64_t orphans_adopted = 0;  // retired nodes adopted from dead tids
+  uint64_t pressure_events = 0;  // unreclaimed crossed the pressure bound
+  uint64_t forced_handshakes = 0;  // reclamation passes forced by pressure
 };
 
 struct StatsSnapshot {
@@ -48,6 +61,11 @@ struct StatsSnapshot {
   uint64_t ebr_frees = 0;
   uint64_t pop_frees = 0;
   uint64_t max_retire_len = 0;   // max over threads
+  uint64_t waves_timed_out = 0;
+  uint64_t tids_reaped = 0;
+  uint64_t orphans_adopted = 0;
+  uint64_t pressure_events = 0;
+  uint64_t forced_handshakes = 0;
   uint64_t unreclaimed() const { return retired - freed; }
 
   // Accumulates either a per-thread cell (ThreadStats) or another
@@ -66,6 +84,11 @@ struct StatsSnapshot {
     ebr_frees += t.ebr_frees;
     pop_frees += t.pop_frees;
     if (t.max_retire_len > max_retire_len) max_retire_len = t.max_retire_len;
+    waves_timed_out += t.waves_timed_out;
+    tids_reaped += t.tids_reaped;
+    orphans_adopted += t.orphans_adopted;
+    pressure_events += t.pressure_events;
+    forced_handshakes += t.forced_handshakes;
   }
 };
 

@@ -210,6 +210,80 @@ inline void emit_resize_jsonl(const std::string& path,
   std::fclose(f);
 }
 
+// One "fault" row per bench_faults cell: the fault being injected (the
+// `fault` axis), the blast radius (kills / suppressed signals), what the
+// recovery machinery did about it (waves timed out, tids reaped, orphans
+// adopted), and the memory trajectory around the fault window. recovered
+// == 0 means the timeline never dropped back to the pre-fault baseline —
+// the signal a reviewer greps for.
+inline void emit_fault_jsonl(const std::string& path, const ScenarioSpec& spec,
+                             const std::string& fault,
+                             const ScenarioResult& r) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  std::fprintf(
+      f,
+      "{\"kind\":\"fault\",\"scenario\":\"%s\",\"ds\":\"%s\",\"smr\":\"%s\","
+      "\"threads\":%d,\"fault\":\"%s\",\"seconds\":%.6f,\"mops\":%.6f,"
+      "\"kills\":%llu,\"signals_suppressed\":%llu,\"first_kill_at_ms\":%llu,"
+      "\"recovered_at_ms\":%llu,\"waves_timed_out\":%llu,"
+      "\"tids_reaped\":%llu,\"orphans_adopted\":%llu,"
+      "\"pressure_events\":%llu,\"forced_handshakes\":%llu,"
+      "\"signals_sent\":%llu,\"retired\":%llu,\"freed\":%llu,"
+      "\"peak_unreclaimed\":%llu,\"final_unreclaimed\":%llu}\n",
+      spec.name.c_str(), spec.ds.c_str(), spec.smr.c_str(), spec.threads,
+      fault.c_str(), r.seconds, r.mops,
+      static_cast<unsigned long long>(r.kills),
+      static_cast<unsigned long long>(r.signals_suppressed),
+      static_cast<unsigned long long>(r.first_kill_at_ms),
+      static_cast<unsigned long long>(r.recovered_at_ms),
+      static_cast<unsigned long long>(r.smr.waves_timed_out),
+      static_cast<unsigned long long>(r.smr.tids_reaped),
+      static_cast<unsigned long long>(r.smr.orphans_adopted),
+      static_cast<unsigned long long>(r.smr.pressure_events),
+      static_cast<unsigned long long>(r.smr.forced_handshakes),
+      static_cast<unsigned long long>(r.smr.signals_sent),
+      static_cast<unsigned long long>(r.smr.retired),
+      static_cast<unsigned long long>(r.smr.freed),
+      static_cast<unsigned long long>(r.stall_peak_unreclaimed),
+      static_cast<unsigned long long>(r.final_unreclaimed));
+  std::fclose(f);
+}
+
+// One "pressure" row per backstop cell: the configured bound, how often
+// unreclaimed crossed it (pressure_events) vs how many handshake passes
+// the backstop actually forced, and the bound-vs-peak trajectory showing
+// graceful degradation (peak may exceed the bound while a reservation
+// pins memory; the backstop defers and warns, it never blocks).
+inline void emit_pressure_jsonl(const std::string& path,
+                                const ScenarioSpec& spec,
+                                const ScenarioResult& r) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  std::fprintf(
+      f,
+      "{\"kind\":\"pressure\",\"scenario\":\"%s\",\"ds\":\"%s\","
+      "\"smr\":\"%s\",\"threads\":%d,\"pressure_bound\":%llu,"
+      "\"pressure_events\":%llu,\"forced_handshakes\":%llu,"
+      "\"baseline_unreclaimed\":%llu,\"peak_unreclaimed\":%llu,"
+      "\"final_unreclaimed\":%llu,\"stall_parked_at_ms\":%llu,"
+      "\"stall_resumed_at_ms\":%llu,\"retired\":%llu,\"freed\":%llu}\n",
+      spec.name.c_str(), spec.ds.c_str(), spec.smr.c_str(), spec.threads,
+      static_cast<unsigned long long>(spec.smr_cfg.pressure_bound),
+      static_cast<unsigned long long>(r.smr.pressure_events),
+      static_cast<unsigned long long>(r.smr.forced_handshakes),
+      static_cast<unsigned long long>(r.baseline_unreclaimed),
+      static_cast<unsigned long long>(r.stall_peak_unreclaimed),
+      static_cast<unsigned long long>(r.final_unreclaimed),
+      static_cast<unsigned long long>(r.stall_parked_at_ms),
+      static_cast<unsigned long long>(r.stall_resumed_at_ms),
+      static_cast<unsigned long long>(r.smr.retired),
+      static_cast<unsigned long long>(r.smr.freed));
+  std::fclose(f);
+}
+
 // One "sharded" summary row per benchmark cell (bench_sharded's rail):
 // the cell identity plus the aggregate throughput and the per-shard load
 // spread, followed by the per-shard "shard" rows.

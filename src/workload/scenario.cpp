@@ -211,6 +211,52 @@ std::vector<std::string> normalize(ScenarioSpec& spec) {
     }
   }
 
+  FaultSpec& f = spec.faults;
+  if (f.signal_loss) {
+    if (f.signal_loss_pct < 1 || f.signal_loss_pct > 100) {
+      warn(w, "signal_loss_pct %d outside [1, 100]: reset to 100",
+           f.signal_loss_pct);
+      f.signal_loss_pct = 100;
+    }
+  }
+  if (f.thread_kill) {
+    const int max_threads =
+        std::max_element(spec.phases.begin(), spec.phases.end(),
+                         [](const PhaseSpec& a, const PhaseSpec& b) {
+                           return a.threads < b.threads;
+                         })
+            ->threads;
+    if (f.kills < 1) {
+      warn(w, "thread_kill with kills %d < 1: clamped to 1", f.kills);
+      f.kills = 1;
+    }
+    // Without respawn each kill permanently empties a slot; leave at
+    // least one worker alive (the stall victim is also never killed).
+    const int pool = max_threads - (spec.stall.enabled ? 1 : 0);
+    if (!f.respawn && f.kills >= pool) {
+      warn(w, "thread_kill without respawn would kill the whole worker "
+              "pool: kills clamped to %d",
+           pool - 1 > 0 ? pool - 1 : 1);
+      f.kills = pool - 1 > 0 ? pool - 1 : 1;
+    }
+    if (f.kill_every_ms == 0 && f.kills > 1) {
+      warn(w, "thread_kill kills %d with kill_every 0 ms: interval set to "
+              "10 ms",
+           f.kills);
+      f.kill_every_ms = 10;
+    }
+    // A zombie leaks its registry slot for good until certified; bound
+    // the storm so a scheme with no reap site (NR) cannot exhaust the
+    // registry across a bench sweep.
+    const int kill_budget = runtime::kMaxThreads / 4;
+    if (f.kill_zombie && f.kills > kill_budget) {
+      warn(w, "kill_zombie kills %d would risk exhausting the registry: "
+              "clamped to %d",
+           f.kills, kill_budget);
+      f.kills = kill_budget;
+    }
+  }
+
   return w;
 }
 

@@ -83,6 +83,32 @@ struct StallSpec {
   uint64_t park_for_ms = 50;
 };
 
+// Crash-fault injectors (the failure modes the zombie reaper, handshake
+// watchdog, and pressure backstop exist to absorb). Orthogonal to the
+// stall injector: a run can combine a parked victim with lost signals —
+// the cell where a POP reclaimer's ping wave genuinely cannot complete.
+struct FaultSpec {
+  // Signal loss: pings are silently dropped (pthread_kill skipped; the
+  // sender still counts the target as signalled — it cannot tell). The
+  // victim defaults to the stall victim's registry tid when the stall
+  // injector is on, else any target.
+  bool signal_loss = false;
+  int signal_loss_pct = 100;           // drop probability per ping
+  uint64_t signal_loss_stop_after_ms = 0;  // restore delivery at T; 0 = never
+  // Thread kill: starting at kill_after_ms, a worker opens an SMR
+  // operation bracket and exits WITHOUT closing it or detaching, then
+  // (kill_every_ms > 0) another every interval, up to `kills` victims.
+  bool thread_kill = false;
+  uint64_t kill_after_ms = 10;  // from phase-0 start
+  uint64_t kill_every_ms = 0;   // 0 = single kill
+  int kills = 1;                // total victims
+  // Leak the registry slot too (skip the TLS deregister): the corpse
+  // stays *registered* and only the reaper's tgkill certification can
+  // reclaim the tid — the hard zombie, vs. the default departed-worker.
+  bool kill_zombie = false;
+  bool respawn = true;  // spawn a fresh worker into the killed slot
+};
+
 struct ScenarioSpec {
   std::string name = "custom";
   std::string ds = "HML";
@@ -110,6 +136,7 @@ struct ScenarioSpec {
   std::vector<PhaseSpec> phases;  // empty => one default phase
   ChurnSpec churn;
   StallSpec stall;
+  FaultSpec faults;
   // Background sampler cadence; 0 disables the timeline.
   uint64_t mem_sample_every_ms = 0;
 };
@@ -177,6 +204,15 @@ struct ScenarioResult : OpCounts {
   uint64_t final_unreclaimed = 0;
   uint64_t stall_parked_at_ms = 0;
   uint64_t stall_resumed_at_ms = 0;
+  // Crash-fault accounting (meaningful when spec.faults enabled one):
+  // workers killed mid-operation, pings suppressed by the loss injector,
+  // and the first post-kill timestamp at which unreclaimed dropped back
+  // to (or below) its pre-kill baseline (0 = never observed recovering —
+  // only meaningful when the mem sampler ran).
+  uint64_t kills = 0;
+  uint64_t signals_suppressed = 0;
+  uint64_t first_kill_at_ms = 0;
+  uint64_t recovered_at_ms = 0;
   // Resize accounting (RHHT cells; zero-filled for fixed structures
   // except buckets_final, which reports a fixed table's static shape).
   uint64_t grows = 0;

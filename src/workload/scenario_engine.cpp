@@ -10,10 +10,12 @@
 #include <vector>
 
 #include "ds/iset.hpp"
+#include "runtime/fault_inject.hpp"
 #include "runtime/padded.hpp"
 #include "runtime/pool_alloc.hpp"
 #include "runtime/proc_stats.hpp"
 #include "runtime/rng.hpp"
+#include "runtime/thread_registry.hpp"
 #include "service/sharded_map.hpp"
 #include "workload/key_dist.hpp"
 
@@ -34,6 +36,11 @@ constexpr uint64_t kRwAbsent = UINT64_MAX - 1;
 struct SlotCtrl {
   std::atomic<bool> exit_now{false};
   std::atomic<bool> park{false};
+  // Crash fault: the worker opens an SMR bracket and exits without
+  // closing it or detaching (see FaultSpec::thread_kill).
+  std::atomic<bool> die{false};
+  // Registry tid of the slot's current worker; -1 until it registers.
+  std::atomic<int> tid{-1};
 };
 
 // Prefill to half the key range (paper §5.0.2): every other key keeps
@@ -87,6 +94,11 @@ smr::StatsSnapshot snapshot_delta(const smr::StatsSnapshot& a,
   d.ebr_frees = b.ebr_frees - a.ebr_frees;
   d.pop_frees = b.pop_frees - a.pop_frees;
   d.max_retire_len = b.max_retire_len;
+  d.waves_timed_out = b.waves_timed_out - a.waves_timed_out;
+  d.tids_reaped = b.tids_reaped - a.tids_reaped;
+  d.orphans_adopted = b.orphans_adopted - a.orphans_adopted;
+  d.pressure_events = b.pressure_events - a.pressure_events;
+  d.forced_handshakes = b.forced_handshakes - a.forced_handshakes;
   return d;
 }
 
@@ -197,12 +209,26 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
     const uint64_t val_salt = (static_cast<uint64_t>(slot + 1) << 48) |
                               ((generation & 0xFF) << 40);
     uint64_t val_seq = 0;
-    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
     SlotCtrl& my_ctrl = *ctrl[slot];
+    // Register before the start barrier and publish the tid: the fault
+    // coordinator resolves victims (signal-loss target, kill slots) by
+    // registry tid, which must exist before any fault can be scheduled.
+    my_ctrl.tid.store(runtime::my_tid(), std::memory_order_release);
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
     for (;;) {
       const int p = phase_idx.load(std::memory_order_acquire);
       if (p >= nph) break;
       if (my_ctrl.exit_now.load(std::memory_order_relaxed)) break;
+      if (my_ctrl.die.load(std::memory_order_relaxed)) {
+        // Crash fault: die inside a critical section. The bracket is left
+        // open, detach_thread never runs, and (kill_zombie) the registry
+        // slot is leaked so only tgkill certification can reclaim it.
+        set->abandon_in_operation();
+        if (spec.faults.kill_zombie) {
+          runtime::ThreadRegistry::instance().detail_abandon_registration();
+        }
+        return;
+      }
       if (my_ctrl.park.load(std::memory_order_relaxed)) {
         victim_parked.store(true, std::memory_order_release);
         set->park_in_operation(park_release);
@@ -350,7 +376,35 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
     });
   }
 
-  // ---- coordinator: phase schedule + churn + stall ------------------------
+  // ---- coordinator: phase schedule + churn + stall + faults ---------------
+  auto& faults = runtime::FaultInjection::instance();
+  const uint64_t dropped_before = faults.dropped();
+  const bool loss_on = spec.faults.signal_loss;
+  bool loss_armed = false;
+  if (loss_on) {
+    // Victim = the stall victim's registry tid when the stall injector is
+    // on (the cell where a reclaimer pings a parked thread and the ping
+    // never lands); otherwise every ping target rolls the dice.
+    int victim_tid = -1;
+    if (spec.stall.enabled) {
+      while ((victim_tid = ctrl[spec.stall.victim]->tid.load(
+                  std::memory_order_acquire)) < 0) {
+        std::this_thread::yield();
+      }
+    }
+    faults.arm_signal_loss(spec.faults.signal_loss_pct, victim_tid);
+    loss_armed = true;
+  }
+  const auto loss_stop_at =
+      t0 + std::chrono::milliseconds(spec.faults.signal_loss_stop_after_ms);
+
+  const bool kill_on = spec.faults.thread_kill;
+  auto next_kill = t0 + std::chrono::milliseconds(spec.faults.kill_after_ms);
+  int kills_left = kill_on ? spec.faults.kills : 0;
+  int kill_rr = 0;
+  std::vector<bool> slot_dead(max_threads, false);
+  uint64_t kill_baseline = 0;
+
   go.store(true, std::memory_order_release);
 
   const bool churn_on = spec.churn.enabled;
@@ -384,11 +438,55 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
       if (stall_stage == StallStage::kParked && resume_at < wake) {
         wake = resume_at;
       }
+      if (kills_left > 0 && next_kill < wake) wake = next_kill;
+      if (loss_armed && spec.faults.signal_loss_stop_after_ms > 0 &&
+          loss_stop_at < wake) {
+        wake = loss_stop_at;
+      }
       if (ph.keys.hot_move_every_ms > 0 && next_hot_move < wake) {
         wake = next_hot_move;
       }
       std::this_thread::sleep_until(wake);
       now = Clock::now();
+
+      if (loss_armed && spec.faults.signal_loss_stop_after_ms > 0 &&
+          now >= loss_stop_at) {
+        faults.disarm();  // restore signal delivery: recovery starts here
+        loss_armed = false;
+      }
+      if (kills_left > 0 && now >= next_kill) {
+        // Kill one worker mid-operation (round-robin over live slots,
+        // never the stall victim — it cannot observe flags while asleep).
+        int slot = -1;
+        for (int probe = 0; probe < max_threads; ++probe) {
+          const int cand = (kill_rr + probe) % max_threads;
+          if (stall_on && cand == spec.stall.victim) continue;
+          if (slot_dead[cand]) continue;
+          slot = cand;
+          break;
+        }
+        if (slot >= 0) {
+          kill_rr = (slot + 1) % max_threads;
+          if (res.kills == 0) {
+            kill_baseline = unreclaimed_now(*set);
+            res.first_kill_at_ms = ms_since(t0);
+          }
+          ctrl[slot]->die.store(true, std::memory_order_release);
+          workers[slot].join();  // the corpse's SMR state is now frozen
+          ctrl[slot]->die.store(false, std::memory_order_relaxed);
+          if (spec.faults.respawn) {
+            ctrl[slot]->tid.store(-1, std::memory_order_relaxed);
+            workers[slot] = std::thread(worker_body, slot,
+                                        ++generation[slot]);
+          } else {
+            slot_dead[slot] = true;
+          }
+          ++res.kills;
+        }
+        --kills_left;
+        next_kill += std::chrono::milliseconds(
+            spec.faults.kill_every_ms > 0 ? spec.faults.kill_every_ms : 1);
+      }
 
       if (stall_stage == StallStage::kPending && now >= park_at) {
         res.baseline_unreclaimed = unreclaimed_now(*set);
@@ -413,6 +511,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
         for (int probe = 0; probe < max_threads; ++probe) {
           const int cand = (churn_rr + probe) % max_threads;
           if (stall_on && cand == spec.stall.victim) continue;
+          if (slot_dead[cand]) continue;  // killed without respawn
           slot = cand;
           break;
         }
@@ -421,6 +520,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
           ctrl[slot]->exit_now.store(true, std::memory_order_release);
           workers[slot].join();  // TLS dtor has deregistered its tid here
           ctrl[slot]->exit_now.store(false, std::memory_order_relaxed);
+          ctrl[slot]->tid.store(-1, std::memory_order_relaxed);
           workers[slot] = std::thread(worker_body, slot, ++generation[slot]);
           ++res.churn_cycles;
         }
@@ -444,8 +544,15 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
     res.stall_resumed_at_ms = ms_since(t0);
   }
   park_release.store(true, std::memory_order_release);
-  for (auto& t : workers) t.join();
+  for (auto& t : workers) {
+    if (t.joinable()) t.join();  // killed-without-respawn slots are done
+  }
   const auto t_end = Clock::now();
+
+  if (loss_on) {
+    faults.disarm();
+    res.signals_suppressed = faults.dropped() - dropped_before;
+  }
 
   sampler_stop.store(true, std::memory_order_release);
   if (sampler.joinable()) sampler.join();
@@ -491,6 +598,18 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
   for (const auto& m : res.samples) {
     if (m.victim_parked && m.unreclaimed() > res.stall_peak_unreclaimed) {
       res.stall_peak_unreclaimed = m.unreclaimed();
+    }
+  }
+  // Post-kill recovery point: the first sampled time after the first kill
+  // at which unreclaimed fell back to the pre-kill level (the reaper
+  // adopted + swept the orphaned backlog).
+  if (res.kills > 0) {
+    for (const auto& m : res.samples) {
+      if (m.t_ms <= res.first_kill_at_ms) continue;
+      if (m.unreclaimed() <= kill_baseline) {
+        res.recovered_at_ms = m.t_ms;
+        break;
+      }
     }
   }
   return res;

@@ -35,7 +35,7 @@ const std::vector<std::string>& scenario_names() {
       "uniform-mixed",  "hotspot-churn",        "moving-hotspot",
       "stall-recovery", "oversubscribed-burst", "sharded-uniform",
       "sharded-hotspot", "kv-update-heavy",     "grow-churn",
-      "resize-storm",
+      "resize-storm",   "zombie-storm",         "pressure-backstop",
   };
   return names;
 }
@@ -84,6 +84,18 @@ std::string scenario_description(const std::string& name) {
            "table with a victim parked through the drain: bucket-array "
            "retirement (one large Reclaimable per displaced descriptor) "
            "flows through the batched sweep against a pinned reservation";
+  }
+  if (name == "zombie-storm") {
+    return "workers are repeatedly killed inside operation brackets "
+           "(registry slot leaked: only tgkill certification reclaims it) "
+           "while replacements respawn; the reaper must certify corpses, "
+           "neutralize their reservations and adopt orphaned retires";
+  }
+  if (name == "pressure-backstop") {
+    return "a victim parks holding its reservation with a tight "
+           "POPSMR_PRESSURE_BOUND set: unreclaimed crosses the bound, the "
+           "backstop forces passes, degrades to defer-and-warn while "
+           "pinned, and recovers once the victim resumes";
   }
   return "";
 }
@@ -219,6 +231,51 @@ std::optional<ScenarioSpec> make_scenario(const std::string& name,
     s.stall.victim = 0;
     s.stall.park_after_ms = scaled_ms(fill, sc);
     s.stall.park_for_ms = scaled_ms(drain / 2, sc);
+    s.mem_sample_every_ms = std::max<uint64_t>(1, scaled_ms(8, sc));
+    return s;
+  }
+
+  if (name == "zombie-storm") {
+    // Update-heavy traffic keeps every corpse's abandoned bracket armed
+    // against live garbage; kills land every interval with respawns, so
+    // the run sustains a rolling population of uncertified zombies. The
+    // mem timeline shows each kill's backlog and the reaper's adoption.
+    PhaseSpec p = phase("storm", 400, 35, 35, sc);
+    s.phases.push_back(p);
+    s.faults.thread_kill = true;
+    s.faults.kill_zombie = true;
+    s.faults.respawn = true;
+    s.faults.kill_after_ms = scaled_ms(60, sc);
+    s.faults.kill_every_ms = scaled_ms(60, sc);
+    s.faults.kills = 4;
+    // Reclaim passes are the reaper's only vehicle: a low threshold keeps
+    // them frequent enough that certification (two stale heartbeat scans,
+    // then the tgkill probe) lands inside the run even under sanitizers.
+    s.smr_cfg.retire_threshold = 64;
+    s.mem_sample_every_ms = std::max<uint64_t>(1, scaled_ms(8, sc));
+    return s;
+  }
+
+  if (name == "pressure-backstop") {
+    // Same shape as stall-recovery but with a pressure bound tight enough
+    // that the parked victim pushes unreclaimed over it: the backstop
+    // forces passes (visible as forced_handshakes / pressure_events) and
+    // degrades to defer-and-warn until the victim resumes.
+    const uint64_t warm = 120, stall = 220, recover = 200;
+    for (auto [nm, dur] : {std::pair{"warmup", warm},
+                           std::pair{"stalled", stall},
+                           std::pair{"recovery", recover}}) {
+      PhaseSpec p = phase(nm, dur, 30, 30, sc);
+      s.phases.push_back(p);
+    }
+    s.stall.enabled = true;
+    s.stall.victim = 0;
+    s.stall.park_after_ms = scaled_ms(warm, sc);
+    s.stall.park_for_ms = scaled_ms(stall, sc);
+    // Bound well under a stalled run's organic backlog but above the
+    // steady-state watermark (retire_threshold per worker).
+    s.smr_cfg.pressure_bound =
+        s.smr_cfg.retire_threshold * static_cast<uint64_t>(s.threads) * 2;
     s.mem_sample_every_ms = std::max<uint64_t>(1, scaled_ms(8, sc));
     return s;
   }

@@ -132,6 +132,78 @@ TEST_P(LeakBalance, PutReplaceBalancesUnderChurnAndStall) {
       << std::get<0>(GetParam()) << "/" << std::get<1>(GetParam());
 }
 
+TEST_P(LeakBalance, ZombieKilledMidOperationIsReapedAndBalanced) {
+  // The crash-fault lifecycle end to end: a worker dies *inside* an
+  // operation bracket with its registry slot leaked (the hard zombie —
+  // the TLS deregister never runs, so only the reaper's tgkill
+  // certification can reclaim the tid). Survivor traffic must certify the
+  // corpse, neutralize its reservations per scheme, adopt its orphaned
+  // retire list, and by teardown the pool must balance: allocated ==
+  // freed, i.e. the kill leaked nothing.
+  const auto& ds = std::get<0>(GetParam());
+  const auto& smr = std::get<1>(GetParam());
+  const auto before = runtime::PoolAllocator::instance().stats();
+  {
+    SetConfig cfg;
+    cfg.capacity = 256;
+    cfg.smr.retire_threshold = 8;
+    cfg.smr.epoch_freq = 2;
+    auto s = make_set(ds, smr, cfg);
+    ASSERT_NE(s, nullptr);
+
+    // The corpse: accumulates a private retire backlog (puts displace
+    // nodes), then dies mid-operation.
+    std::thread corpse([&] {
+      runtime::Xoshiro256 rng(97);
+      for (int i = 0; i < 800; ++i) {
+        const uint64_t k = rng.next_below(64);
+        const uint64_t dice = rng.next_below(100);
+        if (dice < 40) {
+          (void)s->put(k, rng.next());
+        } else if (dice < 70) {
+          s->erase(k);
+        } else {
+          s->insert(k);
+        }
+      }
+      s->abandon_in_operation();
+      runtime::ThreadRegistry::instance().detail_abandon_registration();
+    });
+    corpse.join();  // the kernel thread is gone; the slot still reads alive
+
+    // Survivors churn enough reclaim passes for the staleness gate to
+    // open and the certification to land, then detach cleanly.
+    test::run_threads(3, [&](int w) {
+      runtime::Xoshiro256 rng(500 + w);
+      for (int i = 0; i < 2500; ++i) {
+        const uint64_t k = rng.next_below(64);
+        const uint64_t dice = rng.next_below(100);
+        if (dice < 40) {
+          (void)s->put(k, rng.next());
+        } else if (dice < 70) {
+          s->erase(k);
+        } else {
+          s->insert(k);
+        }
+      }
+      s->detach_thread();
+    });
+    if (smr != "NR") {
+      // NR has no reclaim pass, hence no reap site: its teardown drain
+      // alone restores the balance, which the EXPECT below still checks.
+      EXPECT_GE(s->smr_stats().tids_reaped, 1u)
+          << "no survivor ever certified the corpse for " << ds << "/" << smr;
+    }
+    s->detach_thread();
+  }
+  const auto after = runtime::PoolAllocator::instance().stats();
+  EXPECT_EQ(after.allocated_blocks - before.allocated_blocks,
+            after.freed_blocks - before.freed_blocks)
+      << "pool imbalance after a mid-operation kill for " << ds << "/" << smr
+      << ": the corpse's garbage was never adopted or its reservations "
+         "never neutralized";
+}
+
 // Resize-storm leak balance, RHHT under every scheme: an under-
 // provisioned table (capacity 4, load factor 2) grows repeatedly under
 // put-heavy traffic while a victim sits parked inside an operation

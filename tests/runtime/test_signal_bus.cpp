@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "runtime/thread_registry.hpp"
@@ -104,6 +105,94 @@ TEST(SignalBus, DetachedClientNotNotified) {
   EXPECT_EQ(c.pings.load(), 0u);
   hold.store(false);
   t.join();
+}
+
+// A client that records deliveries landing while it was not supposed to
+// be reachable. on_ping runs in signal-handler context: atomics only.
+class ArmedClient final : public SignalClient {
+ public:
+  void on_ping(int) noexcept override {
+    if (!armed.load(std::memory_order_relaxed)) {
+      violations.fetch_add(1, std::memory_order_relaxed);
+    }
+    pings.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::atomic<bool> armed{false};
+  std::atomic<uint64_t> pings{0};
+  std::atomic<uint64_t> violations{0};
+};
+
+// Regression for the delivery/detach race: a ping that interrupts (or is
+// pending across) detach() must never run the detaching client after
+// detach returned. The worker flips `armed` off immediately after each
+// detach and re-attaches in a tight loop while this thread storms pings
+// at it — any delivery observed with armed == false means the handler
+// walked a slot detach() had already logically removed.
+TEST(SignalBus, DetachClosesInFlightDeliveryWindow) {
+  ArmedClient c;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ready{false};
+  std::thread worker([&] {
+    (void)my_tid();
+    auto& bus = SignalBus::instance();
+    ready.store(true);
+    while (!stop.load(std::memory_order_acquire)) {
+      c.armed.store(true, std::memory_order_relaxed);
+      bus.attach(&c);
+      for (int i = 0; i < 32; ++i) std::this_thread::yield();
+      bus.detach(&c);
+      // From here until the next attach, a delivery through `c` is the
+      // bug this test exists for (same-thread program order: the handler
+      // cannot observe armed == false before detach() returned).
+      c.armed.store(false, std::memory_order_relaxed);
+      for (int i = 0; i < 32; ++i) std::this_thread::yield();
+    }
+  });
+  while (!ready.load()) std::this_thread::yield();
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+  while (std::chrono::steady_clock::now() < until) {
+    ThreadRegistry::instance().ping_others(
+        kPingSignal, [](int) { return true; }, [](int, uint64_t) {});
+  }
+  stop.store(true, std::memory_order_release);
+  worker.join();
+  EXPECT_EQ(c.violations.load(), 0u)
+      << "a ping ran the client after detach() returned";
+  EXPECT_GT(c.pings.load(), 0u) << "the storm never landed; test is vacuous";
+}
+
+// Same race, lifetime edition: after detach() returns the client object
+// may be destroyed immediately. A handler holding a stale slot pointer
+// turns the next ping into a use-after-free — the storm plus a fresh
+// heap client per cycle makes ASan the referee.
+TEST(SignalBus, DetachedClientCanBeDestroyedImmediately) {
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ready{false};
+  std::atomic<uint64_t> cycles{0};
+  std::thread worker([&] {
+    (void)my_tid();
+    auto& bus = SignalBus::instance();
+    ready.store(true);
+    while (!stop.load(std::memory_order_acquire)) {
+      auto* c = new CountingClient;
+      bus.attach(c);
+      std::this_thread::yield();
+      bus.detach(c);
+      delete c;  // any later delivery through this slot is a UAF
+      cycles.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  while (!ready.load()) std::this_thread::yield();
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+  while (std::chrono::steady_clock::now() < until) {
+    ThreadRegistry::instance().ping_others(
+        kPingSignal, [](int) { return true; }, [](int, uint64_t) {});
+  }
+  stop.store(true, std::memory_order_release);
+  worker.join();
+  EXPECT_GT(cycles.load(), 0u);
 }
 
 }  // namespace

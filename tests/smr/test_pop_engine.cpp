@@ -182,7 +182,7 @@ TEST(PopEngine, ConcurrentReclaimersShareOnePingWave) {
     for (int r = 0; r < kRounds; ++r) {
       while (turn.load() != 2 * r + w) std::this_thread::yield();
       sequential_signals.fetch_add(
-          static_cast<uint64_t>(e.ping_all_and_wait(tid)));
+          static_cast<uint64_t>(e.ping_all_and_wait(tid).sent));
       turn.fetch_add(1);
     }
 
@@ -194,7 +194,7 @@ TEST(PopEngine, ConcurrentReclaimersShareOnePingWave) {
       arrived.fetch_add(1);
       while (arrived.load() < 2 * (r + 1)) std::this_thread::yield();
       concurrent_signals.fetch_add(
-          static_cast<uint64_t>(e.ping_all_and_wait(tid)));
+          static_cast<uint64_t>(e.ping_all_and_wait(tid).sent));
     }
     e.detach(tid);
   });

@@ -3,6 +3,8 @@
 // representative cell of each scenario actually executes in smoke mode.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "ds/iset.hpp"
 #include "workload/scenario_engine.hpp"
 #include "workload/scenarios.hpp"
@@ -134,6 +136,54 @@ TEST(Scenarios, KvUpdateHeavySmokeDrivesReplaceTraffic) {
   // Displaced nodes flow through the domain: at least one per replace.
   EXPECT_GE(r.smr.retired, r.put_replaced);
   EXPECT_EQ(r.rw_violations, 0u);
+}
+
+TEST(Scenarios, ZombieStormSmokeKillsAndReaps) {
+  ScenarioBuild b;
+  b.ds = "HML";
+  b.smr = "EpochPOP";
+  b.threads = 3;
+  b.time_scale = kSmokeTimeScale;
+  b.key_range = 256;
+  auto spec = make_scenario("zombie-storm", b);
+  ASSERT_TRUE(spec.has_value());
+  ASSERT_TRUE(spec->faults.thread_kill);
+  ASSERT_TRUE(spec->faults.kill_zombie);
+  // A low threshold keeps reclaim passes (the reaper's only vehicle)
+  // frequent inside the short smoke window.
+  spec->smr_cfg.retire_threshold = 16;
+  const auto r = run_scenario(*spec);
+  EXPECT_GT(r.ops, 0u);
+  EXPECT_GE(r.kills, 1u) << "the injector never fired";
+  EXPECT_GE(r.smr.tids_reaped, 1u)
+      << "no corpse was ever certified: the reaper never ran";
+}
+
+TEST(Scenarios, PressureBackstopSmokeForcesPasses) {
+  ScenarioBuild b;
+  b.ds = "HML";
+  b.smr = "EBR";  // the non-robust scheme: a parked victim pins everything
+  b.threads = 3;
+  b.time_scale = kSmokeTimeScale;
+  b.key_range = 256;
+  auto spec = make_scenario("pressure-backstop", b);
+  ASSERT_TRUE(spec.has_value());
+  ASSERT_TRUE(spec->stall.enabled);
+  ASSERT_GT(spec->smr_cfg.pressure_bound, 0u);
+  // Shrink threshold and bound together so the stall window reliably
+  // crosses the bound even on a loaded CI machine.
+  spec->smr_cfg.retire_threshold = 32;
+  spec->smr_cfg.pressure_bound =
+      spec->smr_cfg.retire_threshold * static_cast<uint64_t>(spec->threads) * 2;
+  const auto r = run_scenario(*spec);
+  EXPECT_GT(r.ops, 0u);
+  EXPECT_GT(r.smr.pressure_events, 0u)
+      << "unreclaimed never crossed the bound; the backstop was idle";
+  EXPECT_GT(r.smr.forced_handshakes, 0u);
+  // Graceful degradation, not enforcement: the run finished (liveness)
+  // and by teardown the backlog drained below where the stall pushed it.
+  EXPECT_LT(r.final_unreclaimed, std::max<uint64_t>(r.stall_peak_unreclaimed,
+                                                    1));
 }
 
 }  // namespace

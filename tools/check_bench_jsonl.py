@@ -5,8 +5,8 @@ Every bench binary appends JSON Lines to POPSMR_BENCH_JSON. Three row
 families exist:
 
   * kind-tagged rows (bench_scenarios / bench_sharded / bench_kv /
-    bench_resize): "scenario", "phase", "mem_sample", "sharded",
-    "shard", "kv", "resize"
+    bench_resize / bench_faults): "scenario", "phase", "mem_sample",
+    "sharded", "shard", "kv", "resize", "fault", "pressure"
   * micro rows ("bench": "...") from the microbenchmarks
   * legacy figure rows (no tag) from print_row: ds/smr/threads/mops/...
 
@@ -77,6 +77,23 @@ SCHEMAS = {
         "read_mops": NUM, "retired": int, "freed": int,
         "signals_sent": int, "final_unreclaimed": int, "vm_hwm_kib": int,
         **PER_OP,
+    },
+    "fault": {
+        "scenario": str, "ds": str, "smr": str, "threads": int,
+        "fault": str, "seconds": NUM, "mops": NUM, "kills": int,
+        "signals_suppressed": int, "first_kill_at_ms": int,
+        "recovered_at_ms": int, "waves_timed_out": int, "tids_reaped": int,
+        "orphans_adopted": int, "pressure_events": int,
+        "forced_handshakes": int, "signals_sent": int, "retired": int,
+        "freed": int, "peak_unreclaimed": int, "final_unreclaimed": int,
+    },
+    "pressure": {
+        "scenario": str, "ds": str, "smr": str, "threads": int,
+        "pressure_bound": int, "pressure_events": int,
+        "forced_handshakes": int, "baseline_unreclaimed": int,
+        "peak_unreclaimed": int, "final_unreclaimed": int,
+        "stall_parked_at_ms": int, "stall_resumed_at_ms": int,
+        "retired": int, "freed": int,
     },
     "mem_sample": {
         "scenario": str, "ds": str, "smr": str, "t_ms": int, "phase": int,
@@ -174,8 +191,33 @@ def self_test():
         "t_ms": 1, "phase": 0, "vm_rss_kib": 1, "vm_hwm_kib": 1,
         "unreclaimed": 0, "pool_live_blocks": 0, "victim_parked": 0,
     }
+    fault_ok = {
+        "kind": "fault", "scenario": "zombie-storm", "ds": "HML",
+        "smr": "EpochPOP", "threads": 3, "fault": "thread-kill",
+        "seconds": 0.1, "mops": 2.5, "kills": 4, "signals_suppressed": 0,
+        "first_kill_at_ms": 17, "recovered_at_ms": 25, "waves_timed_out": 0,
+        "tids_reaped": 4, "orphans_adopted": 2721, "pressure_events": 0,
+        "forced_handshakes": 0, "signals_sent": 19, "retired": 45663,
+        "freed": 44258, "peak_unreclaimed": 0, "final_unreclaimed": 1405,
+    }
+    pressure_ok = {
+        "kind": "pressure", "scenario": "pressure-backstop", "ds": "HML",
+        "smr": "EBR", "threads": 3, "pressure_bound": 3072,
+        "pressure_events": 601, "forced_handshakes": 601,
+        "baseline_unreclaimed": 3808, "peak_unreclaimed": 11360,
+        "final_unreclaimed": 3013, "stall_parked_at_ms": 33,
+        "stall_resumed_at_ms": 85, "retired": 38547, "freed": 35534,
+    }
     cases = [
         ("valid shard row", shard_ok, True),
+        ("valid fault row", fault_ok, True),
+        ("valid pressure row", pressure_ok, True),
+        ("fault name must be a string",
+         {**fault_ok, "fault": 3}, False),
+        ("tids_reaped as bool must be rejected",
+         {**fault_ok, "tids_reaped": True}, False),
+        ("missing pressure_bound", {k: v for k, v in pressure_ok.items()
+                                    if k != "pressure_bound"}, False),
         ("valid resize row", resize_ok, True),
         ("valid mem_sample row", mem_ok, True),
         ("victim_parked as bool (documented bool-as-int)",
@@ -212,7 +254,8 @@ def main():
                     metavar="KIND",
                     help="fail unless at least one row of KIND exists "
                          "(scenario, phase, mem_sample, sharded, shard, "
-                         "kv, resize, micro, workload); repeatable")
+                         "kv, resize, fault, pressure, micro, workload); "
+                         "repeatable")
     ap.add_argument("--min-rows", type=int, default=1, metavar="N",
                     help="fail any file with fewer than N rows (default 1: "
                          "an empty artifact is a failure, not a pass)")
