@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/obs.hpp"
+
 namespace pop::bench {
 
 namespace {
@@ -14,6 +16,7 @@ void usage(const char* prog, int exit_code) {
       "usage: %s [--threads N,N,..] [--smr NAME,..] [--ds NAME,..]\n"
       "          [--shards N,N,..] [--shard-hash splitmix|modulo]\n"
       "          [--pct-put N,N,..] [--duration-ms N] [--json PATH]\n"
+      "          [--latency] [--hw-counters] [--trace PATH]\n"
       "          [--scenario NAME|all] [--short] [--list] [--help]\n"
       "Value flags seed the matching POPSMR_BENCH_* env var; an already\n"
       "exported var wins over the flag (CI compatibility).\n",
@@ -104,6 +107,13 @@ CliOptions apply_bench_cli(int argc, char** argv) {
     } else if (matches(arg, "--json")) {
       seed_env("POPSMR_BENCH_JSON",
                flag_value(argc, argv, &i, "--json", prog));
+    } else if (std::strcmp(arg, "--latency") == 0) {
+      seed_env("POPSMR_OBS_LATENCY", "1");
+    } else if (std::strcmp(arg, "--hw-counters") == 0) {
+      seed_env("POPSMR_OBS_HW", "1");
+    } else if (matches(arg, "--trace")) {
+      // A path, not an identifier: no checked_ident.
+      seed_env("POPSMR_TRACE", flag_value(argc, argv, &i, "--trace", prog));
     } else if (matches(arg, "--scenario")) {
       out.scenario =
           checked_ident(flag_value(argc, argv, &i, "--scenario", prog),
@@ -118,6 +128,17 @@ CliOptions apply_bench_cli(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "%s: unknown flag '%s'\n", prog, arg);
       usage(prog, 2);
+    }
+  }
+  // Resolve the observability channels now (env wins over the flags just
+  // seeded, like every other knob), and register the end-of-process trace
+  // dump once if tracing came up armed.
+  obs::init_from_env();
+  if (obs::trace_on()) {
+    static bool dump_registered = false;
+    if (!dump_registered) {
+      dump_registered = true;
+      std::atexit([] { obs::dump_trace(); });
     }
   }
   return out;

@@ -12,6 +12,9 @@
 //   --pct-put 0,10,50,90   -> POPSMR_BENCH_PCT_PUT (bench_kv)
 //   --duration-ms 200      -> POPSMR_BENCH_DURATION_MS
 //   --json out.jsonl       -> POPSMR_BENCH_JSON
+//   --latency              -> POPSMR_OBS_LATENCY=1 (per-op histograms)
+//   --hw-counters          -> POPSMR_OBS_HW=1 (perf counters per phase)
+//   --trace out.trace.json -> POPSMR_TRACE (Chrome trace dumped at exit)
 //   --scenario NAME|all    scenario selection       (bench_scenarios)
 //   --short                smoke mode: small key range, ~50 ms phases
 //   --list                 list named scenarios and exit

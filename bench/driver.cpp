@@ -6,7 +6,9 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "runtime/env.hpp"
+#include "workload/jsonl.hpp"
 #include "workload/scenario_engine.hpp"
 
 namespace pop::bench {
@@ -45,6 +47,7 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
   out.smr = r.smr;
   out.vm_hwm_kib = r.vm_hwm_kib;
   out.final_size = r.final_size;
+  out.latency_all = r.latency_all;
   return out;
 }
 
@@ -66,9 +69,16 @@ void append_json_row(const WorkloadConfig& cfg, const WorkloadResult& r) {
   if (path.empty()) return;
   std::FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr) return;
+  // Legacy (kind-less) row shape, now stamped with run_id/ts and carrying
+  // the lat_* percentile block (zero-filled when --latency is off) so
+  // concatenated multi-run artifacts stay disambiguable.
+  std::fprintf(f, "{\"run_id\":%llu,\"ts\":%llu,",
+               static_cast<unsigned long long>(obs::run_id()),
+               static_cast<unsigned long long>(obs::wall_ts_ms()));
+  workload::emit_latency_fields(f, r.latency_all);
   std::fprintf(
       f,
-      "{\"ds\":\"%s\",\"smr\":\"%s\",\"threads\":%d,\"mops\":%.6f,"
+      "\"ds\":\"%s\",\"smr\":\"%s\",\"threads\":%d,\"mops\":%.6f,"
       "\"read_mops\":%.6f,\"vm_hwm_kib\":%llu,\"freed\":%llu,"
       "\"signals_sent\":%llu}\n",
       cfg.ds.c_str(), cfg.smr.c_str(), cfg.threads, r.mops, r.read_mops,

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "ds/iset.hpp"
+#include "obs/latency_histo.hpp"
 #include "smr/smr_config.hpp"
 #include "workload/op_mix.hpp"
 
@@ -52,6 +53,9 @@ struct WorkloadResult : workload::OpCounts {
   smr::StatsSnapshot smr;
   uint64_t vm_hwm_kib = 0;
   uint64_t final_size = 0;
+  // Merged point-op latency percentiles (count == 0 unless the latency
+  // channel was on: POPSMR_OBS_LATENCY / --latency).
+  obs::LatencySummary latency_all;
 };
 
 // Builds the set, prefills, runs the timed phase, joins, snapshots stats.
@@ -73,11 +77,17 @@ void print_row(const WorkloadConfig& cfg, const WorkloadResult& r);
 //   POPSMR_BENCH_DS           comma list of data structures (bench_scenarios)
 //   POPSMR_BENCH_PCT_PUT      comma list of put ratios (bench_kv)
 //   POPSMR_BENCH_JSON         path; print_row also appends one JSON object
-//                             per cell (JSON Lines: ds, smr, threads, mops,
-//                             read_mops, vm_hwm_kib, freed, signals_sent) —
-//                             the BENCH_*.json perf-trajectory rail.
+//                             per cell (JSON Lines: run_id, ts, ds, smr,
+//                             threads, mops, read_mops, vm_hwm_kib, freed,
+//                             signals_sent, lat_* percentiles) — the
+//                             BENCH_*.json perf-trajectory rail.
 //                             bench_scenarios appends kind-tagged phase and
 //                             mem_sample rows to the same file
+//   POPSMR_OBS_LATENCY        1 = record per-op latency histograms (--latency)
+//   POPSMR_OBS_HW             1 = per-phase perf counters (--hw-counters)
+//   POPSMR_TRACE              path; arm the event tracer and dump a Chrome
+//                             trace-event JSON at exit (--trace PATH)
+//   POPSMR_TRACE_RING         per-thread ring capacity in events (def. 8192)
 std::vector<int> bench_thread_list(const std::string& fallback);
 std::vector<std::string> bench_smr_list();
 std::vector<std::string> bench_ds_list(const std::string& fallback);

@@ -29,6 +29,7 @@
 
 #include "cli.hpp"
 #include "driver.hpp"
+#include "obs/obs.hpp"
 #include "runtime/env.hpp"
 #include "runtime/pool_alloc.hpp"
 
@@ -217,10 +218,13 @@ int main(int argc, char** argv) {
       if (std::FILE* f = std::fopen(json_path.c_str(), "a")) {
         std::fprintf(
             f,
-            "{\"bench\":\"micro_free_batch\",\"threads\":%d,"
+            "{\"bench\":\"micro_free_batch\",\"run_id\":%llu,\"ts\":%llu,"
+            "\"threads\":%d,"
             "\"per_node_mfrees\":%.3f,\"batched_mfrees\":%.3f,"
             "\"speedup\":%.3f,\"batched_remote_frees\":%llu,"
             "\"batched_remote_splices\":%llu}\n",
+            static_cast<unsigned long long>(pop::obs::run_id()),
+            static_cast<unsigned long long>(pop::obs::wall_ts_ms()),
             t, pr.per_node.frees_per_sec / 1e6,
             pr.batched.frees_per_sec / 1e6, pr.speedup,
             static_cast<unsigned long long>(pr.batched.remote_frees),

@@ -59,6 +59,15 @@ void print_cell(const ScenarioSpec& spec, const ScenarioResult& r) {
                 static_cast<unsigned long long>(r.stall_resumed_at_ms),
                 r.samples.size());
   }
+  // Per-kind latency percentiles when --latency / POPSMR_OBS_LATENCY
+  // recorded anything (reclamation kinds included).
+  for (const auto& L : r.latency) {
+    std::printf("      %-13s lat %-9s n=%-9llu p50=%.1fus p90=%.1fus "
+                "p99=%.1fus p999=%.1fus max=%.1fus\n",
+                spec.smr.c_str(), L.op.c_str(),
+                static_cast<unsigned long long>(L.lat.count), L.lat.p50_us,
+                L.lat.p90_us, L.lat.p99_us, L.lat.p999_us, L.lat.max_us);
+  }
   std::fflush(stdout);
 }
 

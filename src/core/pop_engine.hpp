@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <cstdio>
 
+#include "obs/obs.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/env.hpp"
 #include "runtime/padded.hpp"
@@ -161,6 +162,10 @@ class PopEngine final : public runtime::SignalClient {
   // waitForAllPublished() and is what actually certifies visibility.
   HandshakeResult ping_all_and_wait(int self_tid) {
     HandshakeResult result;
+    // Wave round-trip timing: one clock read on entry/exit when either
+    // observability channel wants it, nothing otherwise.
+    const bool obs_timing = obs::latency_on() || obs::trace_on();
+    const uint64_t obs_t0 = obs_timing ? obs::now_ns() : 0;
     publish(self_tid);  // own reservations participate in the scan
 
     // collectPublishedCounters()
@@ -288,6 +293,14 @@ class PopEngine final : public runtime::SignalClient {
     // Refresh our own counter: a joiner that snapshotted us after our
     // entry publish would otherwise have to escalate to unblock.
     publish(self_tid);
+    if (obs_timing) {
+      const uint64_t dt = obs::now_ns() - obs_t0;
+      obs::record_latency(obs::LatOp::kPingWave, dt);
+      obs::trace_event(result.timed_out ? obs::TraceKind::kPingWaveTimeout
+                       : leading        ? obs::TraceKind::kPingWaveLead
+                                        : obs::TraceKind::kPingWaveJoin,
+                       obs_t0, dt, static_cast<uint32_t>(result.sent));
+    }
     return result;
   }
 

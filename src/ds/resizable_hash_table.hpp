@@ -56,6 +56,7 @@
 #include <cstdint>
 
 #include "ds/kv.hpp"
+#include "obs/obs.hpp"
 #include "runtime/padded.hpp"
 #include "runtime/pool_alloc.hpp"
 #include "runtime/thread_registry.hpp"
@@ -505,6 +506,11 @@ class ResizableHashTable {
         grows_.fetch_add(1, std::memory_order_relaxed);
       } else {
         shrinks_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (obs::trace_on()) {  // arg: the published bucket count
+        obs::trace_event(obs::TraceKind::kResizePublish, obs::now_ns(), 0,
+                         static_cast<uint32_t>(
+                             want > UINT32_MAX ? UINT32_MAX : want));
       }
       smr_.retire(t);  // one large Reclaimable: the whole bucket array
     } else {

@@ -1,0 +1,85 @@
+// HwCounters — thin perf_event_open wrapper for per-phase hardware samples.
+//
+// Opens four per-thread counters (cycles, instructions, LLC misses, context
+// switches) for the calling thread. Every failure mode the CI container can
+// produce — EACCES from perf_event_paranoid, ENOSYS/ENOENT on kernels or
+// archs without the PMU, EPERM in seccomp'd sandboxes — degrades to a
+// zero-filled, valid=false sample rather than an error; callers emit
+// hw_valid=0 columns and move on. See README "Observability" for the
+// perf_event_paranoid note.
+
+#pragma once
+
+#include <cstdint>
+
+namespace pop::obs {
+
+struct HwSample {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;
+  uint64_t ctx_switches = 0;
+  bool valid = false;  // at least one hardware counter actually opened
+
+  double ipc() const {
+    return cycles ? static_cast<double>(instructions) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+
+  // LLC misses per kilo-instruction (the "llc_miss_rate" JSONL column).
+  double llc_miss_rate() const {
+    return instructions ? 1000.0 * static_cast<double>(llc_misses) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+  }
+
+  void accumulate(const HwSample& o) {
+    cycles += o.cycles;
+    instructions += o.instructions;
+    llc_misses += o.llc_misses;
+    ctx_switches += o.ctx_switches;
+    valid = valid || o.valid;
+  }
+
+  // Saturating self - earlier (counters are monotonic per thread).
+  HwSample delta(const HwSample& earlier) const {
+    auto sub = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+    HwSample d;
+    d.cycles = sub(cycles, earlier.cycles);
+    d.instructions = sub(instructions, earlier.instructions);
+    d.llc_misses = sub(llc_misses, earlier.llc_misses);
+    d.ctx_switches = sub(ctx_switches, earlier.ctx_switches);
+    d.valid = valid;
+    return d;
+  }
+};
+
+// Per-thread counter set: open in the constructor on the calling thread,
+// read from the same thread, close in the destructor. Not copyable or
+// movable — workers hold one by unique_ptr for exactly their lifetime.
+class HwCounters {
+ public:
+  HwCounters();
+  ~HwCounters();
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+
+  // True when at least one hardware counter (cycles/instructions/LLC)
+  // opened; the software ctx-switch counter alone does not make a sample
+  // "valid" for ipc purposes.
+  bool any_valid() const { return hw_valid_; }
+
+  // Cumulative counts since open; zero-filled fields for counters the
+  // kernel refused.
+  HwSample read() const;
+
+  // Cheap probe: can this process open an instructions counter at all?
+  static bool available();
+
+ private:
+  int fd_[4] = {-1, -1, -1, -1};  // cycles, instructions, llc, ctx-switches
+  bool hw_valid_ = false;
+};
+
+}  // namespace pop::obs

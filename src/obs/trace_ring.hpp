@@ -1,0 +1,146 @@
+// TraceRing — fixed-size per-thread ring of timestamped reclamation events.
+//
+// Each thread appends to its own ring (no cross-thread writes); a dump pass
+// from any thread reads every ring concurrently with ongoing appends. Slots
+// are tiny seqlocks over relaxed atomics: the writer bumps seq to odd,
+// stores the payload, then bumps it to even with release; the reader
+// rejects a slot whose seq is odd or changed between two acquire loads.
+// Worst case a reader skips a slot being overwritten — never a torn event,
+// never a TSan report.
+//
+// The ring overwrites oldest-first; `dropped()` says how many events were
+// lost to wraparound so dumps can disclose truncation.
+
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pop::obs {
+
+enum class TraceKind : uint32_t {
+  kRetire = 0,
+  kSweep,
+  kPingWaveLead,
+  kPingWaveJoin,
+  kPingWaveTimeout,
+  kZombieCertified,
+  kPressure,
+  kResizePublish,
+  kScenarioBegin,
+  kScenarioEnd,
+  kCount,
+};
+
+inline const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kRetire:          return "retire";
+    case TraceKind::kSweep:           return "sweep";
+    case TraceKind::kPingWaveLead:    return "ping_wave_led";
+    case TraceKind::kPingWaveJoin:    return "ping_wave_joined";
+    case TraceKind::kPingWaveTimeout: return "ping_wave_timed_out";
+    case TraceKind::kZombieCertified: return "zombie_certified";
+    case TraceKind::kPressure:        return "pressure";
+    case TraceKind::kResizePublish:   return "resize_published";
+    case TraceKind::kScenarioBegin:   return "scenario_begin";
+    case TraceKind::kScenarioEnd:     return "scenario_end";
+    default:                          return "unknown";
+  }
+}
+
+// Duration events render as Chrome "X" (complete) slices; the rest are "i"
+// (instant) marks.
+inline bool trace_kind_is_span(TraceKind k) {
+  switch (k) {
+    case TraceKind::kSweep:
+    case TraceKind::kPingWaveLead:
+    case TraceKind::kPingWaveJoin:
+    case TraceKind::kPingWaveTimeout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct TraceEvent {
+  uint64_t t_ns = 0;    // steady-clock timestamp of event start
+  uint64_t dur_ns = 0;  // 0 for instant events
+  uint32_t kind = 0;    // TraceKind
+  uint32_t arg = 0;     // kind-specific payload (count, tid, …)
+  int tid = -1;         // filled in by the collector
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(uint32_t capacity) {
+    cap_ = std::bit_ceil(capacity < 8 ? 8u : capacity);
+    slots_ = std::make_unique<Slot[]>(cap_);
+  }
+
+  uint32_t capacity() const { return cap_; }
+
+  // Total events ever recorded (monotonic).
+  uint64_t recorded() const { return head_.load(std::memory_order_relaxed); }
+
+  // Events lost to wraparound so far.
+  uint64_t dropped() const {
+    const uint64_t h = recorded();
+    return h > cap_ ? h - cap_ : 0;
+  }
+
+  // Owner thread only.
+  void record(TraceKind k, uint64_t t_ns, uint64_t dur_ns, uint32_t arg) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[h & (cap_ - 1)];
+    const uint64_t q = s.seq.load(std::memory_order_relaxed);
+    s.seq.store(q + 1, std::memory_order_release);  // odd: write in flight
+    s.t_ns.store(t_ns, std::memory_order_release);
+    s.dur_ns.store(dur_ns, std::memory_order_release);
+    s.meta.store(static_cast<uint64_t>(k) << 32 | arg,
+                 std::memory_order_release);
+    s.seq.store(q + 2, std::memory_order_release);  // even: stable
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  // Any thread; appends every stable slot to `out`, tagging each with
+  // `tid`. Slots mid-overwrite are skipped after a few retries.
+  void collect(int tid, std::vector<TraceEvent>& out) const {
+    const uint64_t h = head_.load(std::memory_order_acquire);
+    const uint64_t n = h < cap_ ? h : cap_;
+    for (uint64_t i = 0; i < n; ++i) {
+      const Slot& s = slots_[i];
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        const uint64_t q1 = s.seq.load(std::memory_order_acquire);
+        if (q1 & 1) continue;  // writer in flight
+        TraceEvent e;
+        e.t_ns = s.t_ns.load(std::memory_order_acquire);
+        e.dur_ns = s.dur_ns.load(std::memory_order_acquire);
+        const uint64_t meta = s.meta.load(std::memory_order_acquire);
+        const uint64_t q2 = s.seq.load(std::memory_order_acquire);
+        if (q1 != q2) continue;  // overwritten mid-read
+        e.kind = static_cast<uint32_t>(meta >> 32);
+        e.arg = static_cast<uint32_t>(meta);
+        e.tid = tid;
+        out.push_back(e);
+        break;
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // even: stable, odd: being written
+    std::atomic<uint64_t> t_ns{0};
+    std::atomic<uint64_t> dur_ns{0};
+    std::atomic<uint64_t> meta{0};  // kind << 32 | arg
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  uint32_t cap_ = 0;                 // power of two
+  std::atomic<uint64_t> head_{0};    // next write position (monotonic)
+};
+
+}  // namespace pop::obs

@@ -14,6 +14,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "runtime/env.hpp"
 #include "runtime/padded.hpp"
 #include "runtime/pool_alloc.hpp"
@@ -112,6 +113,9 @@ class DomainCore {
   template <class Neutralize>
   void reap_dead(int self_tid, Neutralize&& neutralize) {
     if (reap_mu_.exchange(true, std::memory_order_acquire)) return;
+    const bool obs_timing = obs::latency_on() || obs::trace_on();
+    const uint64_t obs_t0 = obs_timing ? obs::now_ns() : 0;
+    uint64_t obs_reaped = 0;
     auto& reg = runtime::ThreadRegistry::instance();
     const int hi = hi_tid_.load(std::memory_order_acquire);
     for (int t = 0; t <= hi; ++t) {
@@ -140,12 +144,22 @@ class DomainCore {
       auto& st = pt_[self_tid]->stats;
       st.tids_reaped += 1;
       st.orphans_adopted += adopted;
+      ++obs_reaped;
+      if (obs::trace_on()) {
+        obs::trace_event(obs::TraceKind::kZombieCertified, obs::now_ns(), 0,
+                         static_cast<uint32_t>(t));
+      }
       std::fprintf(stderr,
                    "popsmr: reaped dead tid %d (adopted %llu orphaned "
                    "retires)\n",
                    t, static_cast<unsigned long long>(adopted));
     }
     reap_mu_.store(false, std::memory_order_release);
+    // Reap certification duration only when the pass actually certified
+    // someone — the common empty scan would otherwise drown the signal.
+    if (obs_timing && obs_reaped > 0) {
+      obs::record_latency(obs::LatOp::kReap, obs::now_ns() - obs_t0);
+    }
   }
 
   // ---- memory-pressure backstop ------------------------------------------
@@ -166,6 +180,10 @@ class DomainCore {
       return false;
     }
     pt.stats.pressure_events += 1;
+    if (obs::trace_on()) {
+      obs::trace_event(obs::TraceKind::kPressure, obs::now_ns(), 0,
+                       static_cast<uint32_t>(tid));
+    }
     return true;
   }
 
@@ -223,8 +241,19 @@ class DomainCore {
   // (see PoolAllocator::FreeBatch) instead of one free per node.
   template <class Pred>
   uint64_t sweep_retired(int tid, Pred&& can_free) {
+    const bool obs_timing = obs::latency_on() || obs::trace_on();
+    const uint64_t obs_t0 = obs_timing ? obs::now_ns() : 0;
     runtime::PoolAllocator::FreeBatch batch;
-    return pt_[tid]->retire.sweep_batch(std::forward<Pred>(can_free), batch);
+    const uint64_t freed =
+        pt_[tid]->retire.sweep_batch(std::forward<Pred>(can_free), batch);
+    if (obs_timing) {
+      const uint64_t dt = obs::now_ns() - obs_t0;
+      obs::record_latency(obs::LatOp::kSweep, dt);
+      obs::trace_event(obs::TraceKind::kSweep, obs_t0, dt,
+                       static_cast<uint32_t>(
+                           freed > UINT32_MAX ? UINT32_MAX : freed));
+    }
+    return freed;
   }
 
   // Appends to the caller's retire list; returns the new length.
@@ -233,6 +262,9 @@ class DomainCore {
     n->retire_era = retire_era;
     pt.retire.push(n);
     pt.stats.retired += 1;
+    if (obs::trace_on()) {  // guard keeps the clock read off the hot path
+      obs::trace_event(obs::TraceKind::kRetire, obs::now_ns(), 0, 0);
+    }
     if (pt.retire.length() > pt.stats.max_retire_len) {
       pt.stats.max_retire_len = pt.retire.length();
     }

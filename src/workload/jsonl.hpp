@@ -4,29 +4,91 @@
 // to (POPSMR_BENCH_JSON) — a `kind` field keeps the streams separable.
 // Values are numbers and [A-Za-z0-9_-] identifiers only, so no string
 // escaping is needed.
+//
+// Every row leads with the same stamp: `run_id` (process-wide, wall-clock
+// ns at first use — monotonic across successive runs) and `ts` (per-row
+// wall-clock ms), so concatenated multi-run CI artifacts stay
+// disambiguable. Scenario/phase/kv/fault rows additionally carry the
+// latency percentile columns (zero-filled when the latency channel was
+// off) and the hardware-counter columns (hw_valid=0 when perf_event_open
+// was refused); kind-tagged "latency" rows break the percentiles out per
+// op when the channel recorded anything.
 #pragma once
 
 #include <cstdio>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "workload/scenario.hpp"
 
 namespace pop::workload {
 
+// Opens a row: kind tag plus the run_id/ts stamp, trailing comma.
+inline void begin_row(std::FILE* f, const char* kind) {
+  std::fprintf(f, "{\"kind\":\"%s\",\"run_id\":%llu,\"ts\":%llu,", kind,
+               static_cast<unsigned long long>(obs::run_id()),
+               static_cast<unsigned long long>(obs::wall_ts_ms()));
+}
+
+// The lat_* column block (trailing comma). All zeros when the channel was
+// off — the columns are always present so downstream tooling never
+// branches on schema.
+inline void emit_latency_fields(std::FILE* f, const obs::LatencySummary& s) {
+  std::fprintf(
+      f,
+      "\"lat_ops\":%llu,\"lat_p50_us\":%.3f,\"lat_p90_us\":%.3f,"
+      "\"lat_p99_us\":%.3f,\"lat_p999_us\":%.3f,\"lat_max_us\":%.3f,",
+      static_cast<unsigned long long>(s.count), s.p50_us, s.p90_us, s.p99_us,
+      s.p999_us, s.max_us);
+}
+
+// The hardware-counter column block (trailing comma). llc_miss_rate is
+// LLC misses per kilo-instruction.
+inline void emit_hw_fields(std::FILE* f, const obs::HwSample& hw) {
+  std::fprintf(f, "\"ipc\":%.4f,\"llc_miss_rate\":%.4f,\"hw_valid\":%d,",
+               hw.ipc(), hw.llc_miss_rate(), hw.valid ? 1 : 0);
+}
+
+// One "latency" row per op/reclamation kind that recorded samples
+// (get/put/insert/remove/ping_wave/sweep/reap): the per-kind percentile
+// breakdown the scenario row's merged lat_* columns cannot show.
+inline void emit_latency_rows(std::FILE* f, const ScenarioSpec& spec,
+                              const ScenarioResult& r) {
+  for (const auto& L : r.latency) {
+    begin_row(f, "latency");
+    std::fprintf(
+        f,
+        "\"scenario\":\"%s\",\"ds\":\"%s\",\"smr\":\"%s\",\"threads\":%d,"
+        "\"shards\":%d,\"op\":\"%s\",\"count\":%llu,\"p50_us\":%.3f,"
+        "\"p90_us\":%.3f,\"p99_us\":%.3f,\"p999_us\":%.3f,"
+        "\"max_us\":%.3f}\n",
+        spec.name.c_str(), spec.ds.c_str(), spec.smr.c_str(), spec.threads,
+        spec.shards, L.op.c_str(),
+        static_cast<unsigned long long>(L.lat.count), L.lat.p50_us,
+        L.lat.p90_us, L.lat.p99_us, L.lat.p999_us, L.lat.max_us);
+  }
+}
+
 // One "shard" row per shard of a sharded run (no-op for monolithic runs,
 // whose ServiceStats stays empty): the per-shard routed-op count and
-// domain counters that make a hot shard visible in the artifact.
+// domain counters that make a hot shard visible in the artifact — now
+// including the fault-recovery counters (waves_timed_out, tids_reaped,
+// pressure_events, forced_handshakes), which previously existed only on
+// the monolithic roll-up and under-reported sharded fault runs.
 inline void emit_shard_rows(std::FILE* f, const ScenarioSpec& spec,
                             const ScenarioResult& r) {
   for (const auto& s : r.service.shards) {
+    begin_row(f, "shard");
     std::fprintf(
         f,
-        "{\"kind\":\"shard\",\"scenario\":\"%s\",\"ds\":\"%s\","
+        "\"scenario\":\"%s\",\"ds\":\"%s\","
         "\"smr\":\"%s\",\"threads\":%d,\"shards\":%d,\"shard\":%d,"
         "\"ops\":%llu,\"retired\":%llu,\"freed\":%llu,"
         "\"unreclaimed\":%llu,\"signals_sent\":%llu,\"get_hits\":%llu,"
         "\"get_misses\":%llu,\"put_inserts\":%llu,\"put_replaces\":%llu,"
-        "\"resizes\":%llu,\"buckets_final\":%llu}\n",
+        "\"resizes\":%llu,\"buckets_final\":%llu,"
+        "\"waves_timed_out\":%llu,\"tids_reaped\":%llu,"
+        "\"pressure_events\":%llu,\"forced_handshakes\":%llu}\n",
         spec.name.c_str(), spec.ds.c_str(), spec.smr.c_str(), spec.threads,
         spec.shards, s.shard, static_cast<unsigned long long>(s.ops),
         static_cast<unsigned long long>(s.smr.retired),
@@ -38,7 +100,11 @@ inline void emit_shard_rows(std::FILE* f, const ScenarioSpec& spec,
         static_cast<unsigned long long>(s.put_inserts),
         static_cast<unsigned long long>(s.put_replaces),
         static_cast<unsigned long long>(s.resizes),
-        static_cast<unsigned long long>(s.buckets_final));
+        static_cast<unsigned long long>(s.buckets_final),
+        static_cast<unsigned long long>(s.smr.waves_timed_out),
+        static_cast<unsigned long long>(s.smr.tids_reaped),
+        static_cast<unsigned long long>(s.smr.pressure_events),
+        static_cast<unsigned long long>(s.smr.forced_handshakes));
   }
 }
 
@@ -52,9 +118,12 @@ inline void emit_scenario_jsonl(const std::string& path,
   const char* ds = spec.ds.c_str();
   const char* smr = spec.smr.c_str();
 
+  begin_row(f, "scenario");
+  emit_latency_fields(f, r.latency_all);
+  emit_hw_fields(f, r.hw);
   std::fprintf(
       f,
-      "{\"kind\":\"scenario\",\"scenario\":\"%s\",\"ds\":\"%s\","
+      "\"scenario\":\"%s\",\"ds\":\"%s\","
       "\"smr\":\"%s\",\"threads\":%d,\"shards\":%d,\"seconds\":%.6f,"
       "\"mops\":%.6f,"
       "\"read_mops\":%.6f,\"retired\":%llu,\"freed\":%llu,"
@@ -89,9 +158,14 @@ inline void emit_scenario_jsonl(const std::string& path,
 
   for (size_t i = 0; i < r.phases.size(); ++i) {
     const PhaseResult& p = r.phases[i];
+    begin_row(f, "phase");
+    emit_latency_fields(f, p.latency);
+    emit_hw_fields(f, p.hw);
     std::fprintf(
         f,
-        "{\"kind\":\"phase\",\"scenario\":\"%s\",\"ds\":\"%s\","
+        "\"cycles\":%llu,\"instructions\":%llu,\"llc_misses\":%llu,"
+        "\"ctx_switches\":%llu,"
+        "\"scenario\":\"%s\",\"ds\":\"%s\","
         "\"smr\":\"%s\",\"phase\":\"%s\",\"idx\":%zu,\"threads\":%d,"
         "\"seconds\":%.6f,\"mops\":%.6f,\"read_mops\":%.6f,"
         "\"retired\":%llu,\"freed\":%llu,\"signals_sent\":%llu,"
@@ -99,6 +173,10 @@ inline void emit_scenario_jsonl(const std::string& path,
         "\"unreclaimed_end\":%llu,\"gets\":%llu,\"get_hits\":%llu,"
         "\"inserts\":%llu,\"erases\":%llu,\"puts\":%llu,"
         "\"put_replaced\":%llu,\"rw_violations\":%llu}\n",
+        static_cast<unsigned long long>(p.hw.cycles),
+        static_cast<unsigned long long>(p.hw.instructions),
+        static_cast<unsigned long long>(p.hw.llc_misses),
+        static_cast<unsigned long long>(p.hw.ctx_switches),
         nm, ds, smr, p.name.c_str(), i, p.threads, p.seconds, p.mops,
         p.read_mops, static_cast<unsigned long long>(p.smr_delta.retired),
         static_cast<unsigned long long>(p.smr_delta.freed),
@@ -117,9 +195,10 @@ inline void emit_scenario_jsonl(const std::string& path,
   }
 
   for (const MemSample& m : r.samples) {
+    begin_row(f, "mem_sample");
     std::fprintf(
         f,
-        "{\"kind\":\"mem_sample\",\"scenario\":\"%s\",\"ds\":\"%s\","
+        "\"scenario\":\"%s\",\"ds\":\"%s\","
         "\"smr\":\"%s\",\"t_ms\":%llu,\"phase\":%d,\"vm_rss_kib\":%llu,"
         "\"vm_hwm_kib\":%llu,\"unreclaimed\":%llu,\"pool_live_blocks\":%llu,"
         "\"victim_parked\":%d}\n",
@@ -133,6 +212,7 @@ inline void emit_scenario_jsonl(const std::string& path,
         m.victim_parked ? 1 : 0);
   }
 
+  emit_latency_rows(f, spec, r);
   emit_shard_rows(f, spec, r);
   std::fclose(f);
 }
@@ -146,9 +226,11 @@ inline void emit_kv_jsonl(const std::string& path, const ScenarioSpec& spec,
   if (path.empty()) return;
   std::FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr) return;
+  begin_row(f, "kv");
+  emit_latency_fields(f, r.latency_all);
   std::fprintf(
       f,
-      "{\"kind\":\"kv\",\"scenario\":\"%s\",\"ds\":\"%s\",\"smr\":\"%s\","
+      "\"scenario\":\"%s\",\"ds\":\"%s\",\"smr\":\"%s\","
       "\"threads\":%d,\"shards\":%d,\"pct_put\":%u,\"seconds\":%.6f,"
       "\"mops\":%.6f,\"read_mops\":%.6f,\"gets\":%llu,\"get_hits\":%llu,"
       "\"inserts\":%llu,\"erases\":%llu,\"puts\":%llu,\"put_replaced\":%llu,"
@@ -169,6 +251,7 @@ inline void emit_kv_jsonl(const std::string& path, const ScenarioSpec& spec,
       static_cast<unsigned long long>(r.smr.signals_sent),
       static_cast<unsigned long long>(r.final_unreclaimed),
       static_cast<unsigned long long>(r.vm_hwm_kib));
+  emit_latency_rows(f, spec, r);
   emit_shard_rows(f, spec, r);
   std::fclose(f);
 }
@@ -186,9 +269,10 @@ inline void emit_resize_jsonl(const std::string& path,
   if (path.empty()) return;
   std::FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr) return;
+  begin_row(f, "resize");
   std::fprintf(
       f,
-      "{\"kind\":\"resize\",\"scenario\":\"%s\",\"ds\":\"%s\","
+      "\"scenario\":\"%s\",\"ds\":\"%s\","
       "\"smr\":\"%s\",\"threads\":%d,\"deficit\":%llu,"
       "\"initial_capacity\":%llu,\"key_range\":%llu,\"seconds\":%.6f,"
       "\"mops\":%.6f,\"storm_mops\":%.6f,\"steady_mops\":%.6f,"
@@ -222,9 +306,11 @@ inline void emit_fault_jsonl(const std::string& path, const ScenarioSpec& spec,
   if (path.empty()) return;
   std::FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr) return;
+  begin_row(f, "fault");
+  emit_latency_fields(f, r.latency_all);
   std::fprintf(
       f,
-      "{\"kind\":\"fault\",\"scenario\":\"%s\",\"ds\":\"%s\",\"smr\":\"%s\","
+      "\"scenario\":\"%s\",\"ds\":\"%s\",\"smr\":\"%s\","
       "\"threads\":%d,\"fault\":\"%s\",\"seconds\":%.6f,\"mops\":%.6f,"
       "\"kills\":%llu,\"signals_suppressed\":%llu,\"first_kill_at_ms\":%llu,"
       "\"recovered_at_ms\":%llu,\"waves_timed_out\":%llu,"
@@ -248,6 +334,7 @@ inline void emit_fault_jsonl(const std::string& path, const ScenarioSpec& spec,
       static_cast<unsigned long long>(r.smr.freed),
       static_cast<unsigned long long>(r.stall_peak_unreclaimed),
       static_cast<unsigned long long>(r.final_unreclaimed));
+  emit_latency_rows(f, spec, r);
   std::fclose(f);
 }
 
@@ -262,9 +349,10 @@ inline void emit_pressure_jsonl(const std::string& path,
   if (path.empty()) return;
   std::FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr) return;
+  begin_row(f, "pressure");
   std::fprintf(
       f,
-      "{\"kind\":\"pressure\",\"scenario\":\"%s\",\"ds\":\"%s\","
+      "\"scenario\":\"%s\",\"ds\":\"%s\","
       "\"smr\":\"%s\",\"threads\":%d,\"pressure_bound\":%llu,"
       "\"pressure_events\":%llu,\"forced_handshakes\":%llu,"
       "\"baseline_unreclaimed\":%llu,\"peak_unreclaimed\":%llu,"
@@ -293,9 +381,10 @@ inline void emit_sharded_jsonl(const std::string& path,
   if (path.empty()) return;
   std::FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr) return;
+  begin_row(f, "sharded");
   std::fprintf(
       f,
-      "{\"kind\":\"sharded\",\"scenario\":\"%s\",\"ds\":\"%s\","
+      "\"scenario\":\"%s\",\"ds\":\"%s\","
       "\"smr\":\"%s\",\"threads\":%d,\"shards\":%d,\"shard_hash\":\"%s\","
       "\"seconds\":%.6f,\"mops\":%.6f,\"read_mops\":%.6f,\"retired\":%llu,"
       "\"freed\":%llu,\"signals_sent\":%llu,\"final_unreclaimed\":%llu,"

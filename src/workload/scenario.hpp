@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/hw_counters.hpp"
+#include "obs/latency_histo.hpp"
 #include "service/service_stats.hpp"
 #include "smr/smr_config.hpp"
 #include "workload/op_mix.hpp"
@@ -109,6 +111,17 @@ struct FaultSpec {
   bool respawn = true;  // spawn a fresh worker into the killed slot
 };
 
+// Observability toggles, OR-ed with the process-wide env/CLI channels
+// (POPSMR_OBS_LATENCY / POPSMR_OBS_HW): a spec can force latency
+// recording or per-phase hardware counters for one run without touching
+// the environment. Tracing is armed process-wide (POPSMR_TRACE /
+// obs::arm_trace) and needs no spec field — the engine only marks run
+// boundaries in the trace when a ring is armed.
+struct ObsSpec {
+  bool latency = false;
+  bool hw = false;
+};
+
 struct ScenarioSpec {
   std::string name = "custom";
   std::string ds = "HML";
@@ -139,6 +152,7 @@ struct ScenarioSpec {
   FaultSpec faults;
   // Background sampler cadence; 0 disables the timeline.
   uint64_t mem_sample_every_ms = 0;
+  ObsSpec obs;
 };
 
 // Validates and clamps `spec` in place: fills defaulted fields (empty
@@ -181,6 +195,12 @@ struct PhaseResult : OpCounts {
   // max_retire_len is the end-of-phase high-watermark, not a delta).
   smr::StatsSnapshot smr_delta;
   uint64_t unreclaimed_end = 0;
+  // Point-op latency over this phase (all op kinds merged; count == 0
+  // when the latency channel was off) and the phase's hardware-counter
+  // deltas summed across workers (hw.valid == false when the kernel
+  // refused perf_event_open — the CI-container case).
+  obs::LatencySummary latency;
+  obs::HwSample hw;
 };
 
 // Whole-run aggregates; the OpCounts base replaces the old
@@ -223,6 +243,20 @@ struct ScenarioResult : OpCounts {
   // otherwise. service.smr matches the `smr` roll-up above.
   service::ServiceStats service;
   std::vector<std::string> warnings;  // what normalize() adjusted
+  // Observability roll-up (tentpole PR 8). `latency` has one entry per
+  // op/reclamation kind that recorded at least one sample ("get", "put",
+  // "insert", "remove", "ping_wave", "sweep", "reap"); `latency_all`
+  // merges the point ops. Empty / zero when the latency channel was off
+  // (obs_latency_on says which). `hw` is the whole-run counter roll-up.
+  struct OpLatency {
+    std::string op;
+    obs::LatencySummary lat;
+  };
+  std::vector<OpLatency> latency;
+  obs::LatencySummary latency_all;
+  obs::HwSample hw;
+  bool obs_latency_on = false;
+  bool obs_hw_on = false;
 };
 
 // The engine itself — ScenarioResult run_scenario(const ScenarioSpec&) —

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "ds/iset.hpp"
+#include "obs/hw_counters.hpp"
+#include "obs/obs.hpp"
 #include "runtime/fault_inject.hpp"
 #include "runtime/padded.hpp"
 #include "runtime/pool_alloc.hpp"
@@ -197,6 +199,23 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
   bool any_rw = false;
   for (const auto& p : spec.phases) any_rw |= p.read_your_writes;
 
+  // ---- observability channels ---------------------------------------------
+  // Spec toggles OR with the process-wide env/CLI channels. Forcing the
+  // global latency flag on for the run (restored at the end) lets the
+  // reclamation-side hooks in DomainCore/PopEngine see the same switch
+  // the worker loop branches on.
+  const bool lat_prev = obs::latency_on();
+  const bool lat_on = obs::kEnabled && (spec.obs.latency || lat_prev);
+  if (lat_on && !lat_prev) obs::set_latency(true);
+  const bool hw_en = obs::kEnabled && (spec.obs.hw || obs::hw_on());
+  // Per-(slot, phase) hardware-counter cells: perf_event_open binds to
+  // the calling thread, so each worker opens its own counters and flushes
+  // a delta into its cell at every phase transition and on every exit
+  // path. The owner is the only writer; the coordinator reads after the
+  // join.
+  std::vector<runtime::Padded<obs::HwSample>> hw_cells(
+      hw_en ? static_cast<size_t>(max_threads) * nph : 0);
+
   auto worker_body = [&](int slot, uint64_t generation) {
     // Legacy seed for generation 0 keeps one-phase uniform runs
     // bit-comparable with the pre-engine driver; churned replacements
@@ -214,15 +233,34 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
     // coordinator resolves victims (signal-loss target, kill slots) by
     // registry tid, which must exist before any fault can be scheduled.
     my_ctrl.tid.store(runtime::my_tid(), std::memory_order_release);
+    // This worker's hardware counters; hw_flush folds the delta since the
+    // last flush into the (slot, phase) cell of the phase that just ended.
+    std::unique_ptr<obs::HwCounters> hc;
+    obs::HwSample hw_last;
+    int hw_phase = 0;
+    if (hw_en) {
+      hc = std::make_unique<obs::HwCounters>();
+      hw_last = hc->read();
+    }
+    auto hw_flush = [&](int next_phase) {
+      if (!hc) return;
+      const obs::HwSample cur = hc->read();
+      hw_cells[static_cast<size_t>(slot) * nph + hw_phase]->accumulate(
+          cur.delta(hw_last));
+      hw_last = cur;
+      hw_phase = next_phase;
+    };
     while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
     for (;;) {
       const int p = phase_idx.load(std::memory_order_acquire);
+      if (hw_en && p != hw_phase) hw_flush(p < nph ? p : nph - 1);
       if (p >= nph) break;
       if (my_ctrl.exit_now.load(std::memory_order_relaxed)) break;
       if (my_ctrl.die.load(std::memory_order_relaxed)) {
         // Crash fault: die inside a critical section. The bracket is left
         // open, detach_thread never runs, and (kill_zombie) the registry
         // slot is leaked so only tgkill certification can reclaim it.
+        hw_flush(hw_phase);  // the corpse's counters still count
         set->abandon_in_operation();
         if (spec.faults.kill_zombie) {
           runtime::ThreadRegistry::instance().detail_abandon_registration();
@@ -244,6 +282,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
       }
       OpCounts& my = *counts[static_cast<size_t>(slot) * nph + p];
       ++my.ops;
+      // One clock read before and after the op when the latency channel
+      // is on; the branch below costs a relaxed load + predictable jump
+      // when it is off (the <2% contract tests/obs pins down).
+      const uint64_t lat_t0 = lat_on ? obs::now_ns() : 0;
+      obs::LatOp lat_kind = obs::LatOp::kGet;
       if (ph.split_readers_writers && slot < ph.threads / 2) {
         // Dedicated reader (Figure 4): full-range gets only.
         my.get_hits += set->get(rng.next_below(spec.key_range), nullptr);
@@ -255,9 +298,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
         if (rng.percent(50)) {
           (void)set->insert(k);
           ++my.inserts;
+          lat_kind = obs::LatOp::kInsert;
         } else {
           (void)set->erase(k);
           ++my.erases;
+          lat_kind = obs::LatOp::kRemove;
         }
         ++my.updates;
       } else {
@@ -282,6 +327,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
           const bool inserted = set->insert(k);
           ++my.inserts;
           ++my.updates;
+          lat_kind = obs::LatOp::kInsert;
           if (rw) {
             const uint64_t e = rw_expect[k];
             if ((e == kRwAbsent && !inserted) ||
@@ -294,6 +340,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
           const bool removed = set->remove(k);
           ++my.erases;
           ++my.updates;
+          lat_kind = obs::LatOp::kRemove;
           if (rw) {
             const uint64_t e = rw_expect[k];
             if ((e == kRwAbsent && removed) ||
@@ -310,6 +357,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
           if (pr == ds::PutResult::kReplaced) ++my.put_replaced;
           ++my.puts;
           ++my.updates;
+          lat_kind = obs::LatOp::kPut;
           if (rw) {
             const uint64_t e = rw_expect[k];
             if ((e == kRwAbsent && pr != ds::PutResult::kInserted) ||
@@ -337,7 +385,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
           }
         }
       }
+      if (lat_on) obs::record_latency(lat_kind, obs::now_ns() - lat_t0);
     }
+    hw_flush(hw_phase);
     set->detach_thread();
   };
 
@@ -422,6 +472,33 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
   std::vector<Clock::time_point> boundary_t(nph + 1);
   boundary[0] = set->smr_stats();
   boundary_t[0] = t0;
+
+  // Latency boundary snapshots ride alongside the SMR ones: one merged
+  // point-op snapshot per boundary (diff of merges == merge of diffs,
+  // so per-phase summaries come out of adjacent boundaries), plus
+  // per-kind start/end snapshots for the whole-run per-op rows.
+  std::vector<obs::HistoSnapshot> lat_boundary(lat_on ? nph + 1 : 0);
+  std::vector<obs::HistoSnapshot> lat_run_start(lat_on ? obs::kLatOpCount
+                                                       : 0);
+  auto lat_point_snapshot = [] {
+    obs::HistoSnapshot s;
+    for (int k = 0; k < obs::kPointOpCount; ++k) {
+      s.merge(obs::latency_snapshot(static_cast<obs::LatOp>(k)));
+    }
+    return s;
+  };
+  if (lat_on) {
+    for (int k = 0; k < obs::kLatOpCount; ++k) {
+      lat_run_start[k] = obs::latency_snapshot(static_cast<obs::LatOp>(k));
+    }
+    for (int k = 0; k < obs::kPointOpCount; ++k) {
+      lat_boundary[0].merge(lat_run_start[k]);
+    }
+  }
+  if (obs::trace_on()) {
+    obs::trace_event(obs::TraceKind::kScenarioBegin, obs::now_ns(), 0,
+                     static_cast<uint32_t>(nph));
+  }
 
   auto phase_end = t0;
   for (int p = 0; p < nph; ++p) {
@@ -533,6 +610,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
       }
     }
     boundary[p + 1] = set->smr_stats();  // racy-but-benign: reporting only
+    if (lat_on) lat_boundary[p + 1] = lat_point_snapshot();
     boundary_t[p + 1] = Clock::now();
     phase_idx.store(p + 1, std::memory_order_release);
   }
@@ -548,6 +626,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
     if (t.joinable()) t.join();  // killed-without-respawn slots are done
   }
   const auto t_end = Clock::now();
+  if (obs::trace_on()) {
+    obs::trace_event(obs::TraceKind::kScenarioEnd, obs::now_ns(), 0, 0);
+  }
+  // End-of-run per-kind snapshots (workers quiesced: these are exact).
+  std::vector<obs::HistoSnapshot> lat_run_end(lat_on ? obs::kLatOpCount : 0);
+  if (lat_on) {
+    for (int k = 0; k < obs::kLatOpCount; ++k) {
+      lat_run_end[k] = obs::latency_snapshot(static_cast<obs::LatOp>(k));
+    }
+  }
 
   if (loss_on) {
     faults.disarm();
@@ -576,7 +664,31 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
     }
     pr.smr_delta = snapshot_delta(boundary[p], boundary[p + 1]);
     pr.unreclaimed_end = boundary[p + 1].unreclaimed();
+    if (lat_on) {
+      pr.latency = obs::summarize(lat_boundary[p + 1].diff(lat_boundary[p]));
+    }
+    if (hw_en) {
+      for (int s = 0; s < max_threads; ++s) {
+        pr.hw.accumulate(*hw_cells[static_cast<size_t>(s) * nph + p]);
+      }
+      res.hw.accumulate(pr.hw);
+    }
     res.accumulate(pr);
+  }
+  res.obs_hw_on = hw_en;
+  if (lat_on) {
+    res.obs_latency_on = true;
+    obs::HistoSnapshot all_points;
+    for (int k = 0; k < obs::kLatOpCount; ++k) {
+      obs::HistoSnapshot d = lat_run_end[k].diff(lat_run_start[k]);
+      if (k < obs::kPointOpCount) all_points.merge(d);
+      if (d.total > 0) {
+        res.latency.push_back({obs::lat_op_name(static_cast<obs::LatOp>(k)),
+                               obs::summarize(d)});
+      }
+    }
+    res.latency_all = obs::summarize(all_points);
+    if (!lat_prev) obs::set_latency(false);  // restore the global switch
   }
   res.seconds = std::chrono::duration<double>(t_end - t0).count();
   if (res.seconds > 0) {

@@ -277,6 +277,51 @@ TEST(ShardedMap, KvCountersTrackOutcomesPerShard) {
   m->detach_thread();
 }
 
+TEST(ShardedMap, PressureCountersSurfacePerShardAndRollUp) {
+  // The fault-recovery counters (pressure_events, forced_handshakes, and
+  // friends) must surface per shard through ServiceStats, not just on the
+  // monolithic roll-up — a hot shard hitting the pressure backstop should
+  // be attributable. Route every mutation to shard 2 via the modulo hash,
+  // disable the cadence sweep (huge retire_threshold), and set a tiny
+  // pressure bound so the backstop is the only reclamation trigger.
+  ShardedMapConfig cfg;
+  cfg.shards = 4;
+  cfg.hash = ShardHash::kModulo;
+  cfg.set.capacity = 512;
+  cfg.set.smr.retire_threshold = uint64_t{1} << 20;
+  cfg.set.smr.pressure_bound = 48;
+  auto m = ShardedMap::create("HML", "EBR", cfg);
+  ASSERT_NE(m, nullptr);
+  const int target = 2;
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t k = static_cast<uint64_t>(4 * (i % 97) + target);
+    m->insert(k);
+    m->remove(k);  // each removal retires a node on shard 2 only
+  }
+  const auto stats = m->service_stats();
+  ASSERT_EQ(stats.shards.size(), 4u);
+  EXPECT_GT(stats.shards[target].smr.pressure_events, 0u)
+      << "the backstop never fired on the hot shard";
+  EXPECT_GT(stats.shards[target].smr.forced_handshakes, 0u);
+  for (int s = 0; s < 4; ++s) {
+    if (s == target) continue;
+    EXPECT_EQ(stats.shards[s].smr.pressure_events, 0u)
+        << "idle shard " << s << " reported pressure";
+  }
+  uint64_t sum_pressure = 0, sum_forced = 0, sum_waves = 0, sum_reaped = 0;
+  for (const auto& s : stats.shards) {
+    sum_pressure += s.smr.pressure_events;
+    sum_forced += s.smr.forced_handshakes;
+    sum_waves += s.smr.waves_timed_out;
+    sum_reaped += s.smr.tids_reaped;
+  }
+  EXPECT_EQ(stats.smr.pressure_events, sum_pressure);
+  EXPECT_EQ(stats.smr.forced_handshakes, sum_forced);
+  EXPECT_EQ(stats.smr.waves_timed_out, sum_waves);
+  EXPECT_EQ(stats.smr.tids_reaped, sum_reaped);
+  m->detach_thread();
+}
+
 TEST(ShardedMap, OneShardMatchesPlainMapOperationForOperation) {
   // The KV surface through a 1-shard map must be op-for-op identical to
   // the plain structure (same returns, same values) — the sharded layer

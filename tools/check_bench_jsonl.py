@@ -6,7 +6,7 @@ families exist:
 
   * kind-tagged rows (bench_scenarios / bench_sharded / bench_kv /
     bench_resize / bench_faults): "scenario", "phase", "mem_sample",
-    "sharded", "shard", "kv", "resize", "fault", "pressure"
+    "sharded", "shard", "kv", "resize", "fault", "pressure", "latency"
   * micro rows ("bench": "...") from the microbenchmarks
   * legacy figure rows (no tag) from print_row: ds/smr/threads/mops/...
 
@@ -36,7 +36,7 @@ NUM = (int, float)
 # and a hand-written fixture using true/false must both pass. Every other
 # field rejects bools (Python's bool is an int subclass, so without this
 # carve-out `"retired": true` would silently satisfy an int schema).
-BOOL_OK = {"victim_parked"}
+BOOL_OK = {"victim_parked", "hw_valid"}
 
 # Per-op outcome breakdown shared by every row family that reports a run
 # of the KV workload loop (get hit ratio, put insert/replace split, and
@@ -46,8 +46,25 @@ PER_OP = {
     "puts": int, "put_replaced": int, "rw_violations": int,
 }
 
+# Every row (tagged, micro, and legacy alike) is stamped with the
+# process-wide run id and a wall-clock ms timestamp so concatenated
+# multi-run artifacts stay disambiguable.
+STAMP = {"run_id": int, "ts": int}
+
+# The --latency percentile block (zero-filled when recording is off) on
+# the row families that summarize a workload run.
+LAT = {
+    "lat_ops": int, "lat_p50_us": NUM, "lat_p90_us": NUM,
+    "lat_p99_us": NUM, "lat_p999_us": NUM, "lat_max_us": NUM,
+}
+
+# The --hw-counters derived rates; hw_valid is a documented bool-as-int
+# flag (0 when perf_event_open was refused and the counts are zero-fill).
+HW = {"ipc": NUM, "llc_miss_rate": NUM, "hw_valid": int}
+
 SCHEMAS = {
     "scenario": {
+        **STAMP, **LAT, **HW,
         "scenario": str, "ds": str, "smr": str, "threads": int,
         "shards": int, "seconds": NUM, "mops": NUM, "read_mops": NUM,
         "retired": int, "freed": int, "signals_sent": int,
@@ -56,7 +73,14 @@ SCHEMAS = {
         "final_unreclaimed": int, "grows": int, "shrinks": int,
         "buckets_final": int, **PER_OP,
     },
+    "latency": {
+        **STAMP,
+        "scenario": str, "ds": str, "smr": str, "threads": int,
+        "shards": int, "op": str, "count": int, "p50_us": NUM,
+        "p90_us": NUM, "p99_us": NUM, "p999_us": NUM, "max_us": NUM,
+    },
     "resize": {
+        **STAMP,
         "scenario": str, "ds": str, "smr": str, "threads": int,
         "deficit": int, "initial_capacity": int, "key_range": int,
         "seconds": NUM, "mops": NUM, "storm_mops": NUM, "steady_mops": NUM,
@@ -65,13 +89,16 @@ SCHEMAS = {
         "final_unreclaimed": int,
     },
     "phase": {
+        **STAMP, **LAT, **HW,
         "scenario": str, "ds": str, "smr": str, "phase": str, "idx": int,
         "threads": int, "seconds": NUM, "mops": NUM, "read_mops": NUM,
         "retired": int, "freed": int, "signals_sent": int, "pings": int,
         "neutralized": int, "max_retire_len": int, "unreclaimed_end": int,
-        **PER_OP,
+        "cycles": int, "instructions": int, "llc_misses": int,
+        "ctx_switches": int, **PER_OP,
     },
     "kv": {
+        **STAMP, **LAT,
         "scenario": str, "ds": str, "smr": str, "threads": int,
         "shards": int, "pct_put": int, "seconds": NUM, "mops": NUM,
         "read_mops": NUM, "retired": int, "freed": int,
@@ -79,6 +106,7 @@ SCHEMAS = {
         **PER_OP,
     },
     "fault": {
+        **STAMP, **LAT,
         "scenario": str, "ds": str, "smr": str, "threads": int,
         "fault": str, "seconds": NUM, "mops": NUM, "kills": int,
         "signals_suppressed": int, "first_kill_at_ms": int,
@@ -88,6 +116,7 @@ SCHEMAS = {
         "freed": int, "peak_unreclaimed": int, "final_unreclaimed": int,
     },
     "pressure": {
+        **STAMP,
         "scenario": str, "ds": str, "smr": str, "threads": int,
         "pressure_bound": int, "pressure_events": int,
         "forced_handshakes": int, "baseline_unreclaimed": int,
@@ -96,11 +125,13 @@ SCHEMAS = {
         "retired": int, "freed": int,
     },
     "mem_sample": {
+        **STAMP,
         "scenario": str, "ds": str, "smr": str, "t_ms": int, "phase": int,
         "vm_rss_kib": int, "vm_hwm_kib": int, "unreclaimed": int,
         "pool_live_blocks": int, "victim_parked": int,
     },
     "sharded": {
+        **STAMP,
         "scenario": str, "ds": str, "smr": str, "threads": int,
         "shards": int, "shard_hash": str, "seconds": NUM, "mops": NUM,
         "read_mops": NUM, "retired": int, "freed": int,
@@ -108,17 +139,21 @@ SCHEMAS = {
         "pool_live_blocks": int, "shard_ops_max": int, "shard_ops_min": int,
     },
     "shard": {
+        **STAMP,
         "scenario": str, "ds": str, "smr": str, "threads": int,
         "shards": int, "shard": int, "ops": int, "retired": int,
         "freed": int, "unreclaimed": int, "signals_sent": int,
         "get_hits": int, "get_misses": int, "put_inserts": int,
         "put_replaces": int, "resizes": int, "buckets_final": int,
+        "waves_timed_out": int, "tids_reaped": int,
+        "pressure_events": int, "forced_handshakes": int,
     },
 }
 
 # Untagged families, identified by a discriminating field.
-MICRO_REQUIRED = {"bench": str, "threads": int}
+MICRO_REQUIRED = {**STAMP, "bench": str, "threads": int}
 LEGACY_REQUIRED = {
+    **STAMP, **LAT,
     "ds": str, "smr": str, "threads": int, "mops": NUM, "read_mops": NUM,
     "vm_hwm_kib": int, "freed": int, "signals_sent": int,
 }
@@ -171,15 +206,28 @@ def self_test():
     bool is an int subclass — only the documented BOOL_OK flags may carry
     a JSON bool.
     """
+    stamp_ok = {"run_id": 1754600000000000000, "ts": 1754600000000}
+    lat_ok = {
+        "lat_ops": 301284, "lat_p50_us": 0.294, "lat_p90_us": 0.47,
+        "lat_p99_us": 0.51, "lat_p999_us": 24.192, "lat_max_us": 5984.301,
+    }
     shard_ok = {
-        "kind": "shard", "scenario": "s", "ds": "RHHT", "smr": "EBR",
+        "kind": "shard", **stamp_ok, "scenario": "s", "ds": "RHHT",
+        "smr": "EBR",
         "threads": 2, "shards": 4, "shard": 0, "ops": 10, "retired": 5,
         "freed": 5, "unreclaimed": 0, "signals_sent": 0, "get_hits": 1,
         "get_misses": 1, "put_inserts": 1, "put_replaces": 1, "resizes": 3,
-        "buckets_final": 256,
+        "buckets_final": 256, "waves_timed_out": 0, "tids_reaped": 0,
+        "pressure_events": 2, "forced_handshakes": 2,
+    }
+    latency_ok = {
+        "kind": "latency", **stamp_ok, "scenario": "stall-recovery",
+        "ds": "HML", "smr": "EpochPOP", "threads": 2, "shards": 1,
+        "op": "ping_wave", "count": 18, "p50_us": 22.4, "p90_us": 28.0,
+        "p99_us": 5203.6, "p999_us": 5203.6, "max_us": 5203.6,
     }
     resize_ok = {
-        "kind": "resize", "scenario": "grow-storm", "ds": "RHHT",
+        "kind": "resize", **stamp_ok, "scenario": "grow-storm", "ds": "RHHT",
         "smr": "EBR", "threads": 2, "deficit": 64, "initial_capacity": 256,
         "key_range": 16384, "seconds": 0.4, "mops": 1.0, "storm_mops": 0.8,
         "steady_mops": 1.2, "recovery_pct": 97.5, "grows": 6, "shrinks": 0,
@@ -187,12 +235,14 @@ def self_test():
         "final_unreclaimed": 0,
     }
     mem_ok = {
-        "kind": "mem_sample", "scenario": "s", "ds": "HML", "smr": "HP",
+        "kind": "mem_sample", **stamp_ok, "scenario": "s", "ds": "HML",
+        "smr": "HP",
         "t_ms": 1, "phase": 0, "vm_rss_kib": 1, "vm_hwm_kib": 1,
         "unreclaimed": 0, "pool_live_blocks": 0, "victim_parked": 0,
     }
     fault_ok = {
-        "kind": "fault", "scenario": "zombie-storm", "ds": "HML",
+        "kind": "fault", **stamp_ok, **lat_ok, "scenario": "zombie-storm",
+        "ds": "HML",
         "smr": "EpochPOP", "threads": 3, "fault": "thread-kill",
         "seconds": 0.1, "mops": 2.5, "kills": 4, "signals_suppressed": 0,
         "first_kill_at_ms": 17, "recovered_at_ms": 25, "waves_timed_out": 0,
@@ -201,16 +251,41 @@ def self_test():
         "freed": 44258, "peak_unreclaimed": 0, "final_unreclaimed": 1405,
     }
     pressure_ok = {
-        "kind": "pressure", "scenario": "pressure-backstop", "ds": "HML",
+        "kind": "pressure", **stamp_ok, "scenario": "pressure-backstop",
+        "ds": "HML",
         "smr": "EBR", "threads": 3, "pressure_bound": 3072,
         "pressure_events": 601, "forced_handshakes": 601,
         "baseline_unreclaimed": 3808, "peak_unreclaimed": 11360,
         "final_unreclaimed": 3013, "stall_parked_at_ms": 33,
         "stall_resumed_at_ms": 85, "retired": 38547, "freed": 35534,
     }
+    scenario_hw_missing = {
+        "kind": "scenario", **stamp_ok, **lat_ok, "scenario": "s",
+        "ds": "HML", "smr": "EBR", "threads": 2, "shards": 1,
+        "seconds": 0.1, "mops": 1.0, "read_mops": 0.5, "retired": 1,
+        "freed": 1, "signals_sent": 0, "vm_hwm_kib": 1, "churn_cycles": 0,
+        "baseline_unreclaimed": 0, "stall_peak_unreclaimed": 0,
+        "final_unreclaimed": 0, "grows": 0, "shrinks": 0,
+        "buckets_final": 0, "gets": 1, "get_hits": 1, "inserts": 0,
+        "erases": 0, "puts": 0, "put_replaced": 0, "rw_violations": 0,
+    }  # deliberately lacks ipc/llc_miss_rate/hw_valid
     cases = [
         ("valid shard row", shard_ok, True),
+        ("valid latency row", latency_ok, True),
+        ("latency op must be a string",
+         {**latency_ok, "op": 7}, False),
+        ("latency row without run_id stamp",
+         {k: v for k, v in latency_ok.items() if k != "run_id"}, False),
         ("valid fault row", fault_ok, True),
+        ("fault row without the lat_* block",
+         {k: v for k, v in fault_ok.items() if k != "lat_p99_us"}, False),
+        ("scenario row must carry hw fields", scenario_hw_missing, False),
+        ("hw_valid as bool (documented bool-as-int)",
+         {**scenario_hw_missing, "ipc": 1.1, "llc_miss_rate": 0.2,
+          "hw_valid": True}, True),
+        ("shard row without fault counters",
+         {k: v for k, v in shard_ok.items()
+          if k != "forced_handshakes"}, False),
         ("valid pressure row", pressure_ok, True),
         ("fault name must be a string",
          {**fault_ok, "fault": 3}, False),
@@ -254,7 +329,8 @@ def main():
                     metavar="KIND",
                     help="fail unless at least one row of KIND exists "
                          "(scenario, phase, mem_sample, sharded, shard, "
-                         "kv, resize, fault, pressure, micro, workload); "
+                         "kv, resize, fault, pressure, latency, micro, "
+                         "workload); "
                          "repeatable")
     ap.add_argument("--min-rows", type=int, default=1, metavar="N",
                     help="fail any file with fewer than N rows (default 1: "
