@@ -17,6 +17,8 @@ void usage(const char* prog, int exit_code) {
       "          [--shards N,N,..] [--shard-hash splitmix|modulo]\n"
       "          [--pct-put N,N,..] [--duration-ms N] [--json PATH]\n"
       "          [--latency] [--hw-counters] [--trace PATH]\n"
+      "          [--host ADDR] [--port N] [--connections N] [--pipeline N]\n"
+      "          [--net-workers N]\n"
       "          [--scenario NAME|all] [--short] [--list] [--help]\n"
       "Value flags seed the matching POPSMR_BENCH_* env var; an already\n"
       "exported var wins over the flag (CI compatibility).\n",
@@ -72,6 +74,41 @@ std::string checked_ident(std::string value, const char* flag,
   return value;
 }
 
+// Host names travel into connect()/bind() and JSONL labels: the ident
+// charset plus '.' (dotted quads, DNS labels). Rejected on one line like
+// every other malformed flag value.
+std::string checked_host(std::string value, const char* flag,
+                         const char* prog) {
+  bool ok = !value.empty();
+  for (const char c : value) {
+    ok = ok && ((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.');
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "%s: %s '%s' is not a host name (allowed: A-Za-z0-9_-.)\n",
+                 prog, flag, value.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+// Small non-negative integer flags (--port, --connections, ...): digits
+// only, bounded. "8x", "-1", or an empty value is a one-line diagnosis,
+// not a silent 0.
+std::string checked_uint(std::string value, const char* flag, const char* prog,
+                         long lo, long hi) {
+  bool digits = !value.empty() && value.size() <= 10;
+  for (const char c : value) digits = digits && c >= '0' && c <= '9';
+  const long v = digits ? std::strtol(value.c_str(), nullptr, 10) : -1;
+  if (!digits || v < lo || v > hi) {
+    std::fprintf(stderr, "%s: %s '%s' is not an integer in [%ld, %ld]\n", prog,
+                 flag, value.c_str(), lo, hi);
+    std::exit(2);
+  }
+  return value;
+}
+
 }  // namespace
 
 CliOptions apply_bench_cli(int argc, char** argv) {
@@ -114,6 +151,26 @@ CliOptions apply_bench_cli(int argc, char** argv) {
     } else if (matches(arg, "--trace")) {
       // A path, not an identifier: no checked_ident.
       seed_env("POPSMR_TRACE", flag_value(argc, argv, &i, "--trace", prog));
+    } else if (matches(arg, "--host")) {
+      seed_env("POPSMR_BENCH_HOST",
+               checked_host(flag_value(argc, argv, &i, "--host", prog),
+                            "--host", prog));
+    } else if (matches(arg, "--port")) {
+      seed_env("POPSMR_BENCH_PORT",
+               checked_uint(flag_value(argc, argv, &i, "--port", prog),
+                            "--port", prog, 0, 65535));
+    } else if (matches(arg, "--connections")) {
+      seed_env("POPSMR_BENCH_CONNECTIONS",
+               checked_uint(flag_value(argc, argv, &i, "--connections", prog),
+                            "--connections", prog, 1, 4096));
+    } else if (matches(arg, "--pipeline")) {
+      seed_env("POPSMR_BENCH_PIPELINE",
+               checked_uint(flag_value(argc, argv, &i, "--pipeline", prog),
+                            "--pipeline", prog, 1, 4096));
+    } else if (matches(arg, "--net-workers")) {
+      seed_env("POPSMR_NET_WORKERS",
+               checked_uint(flag_value(argc, argv, &i, "--net-workers", prog),
+                            "--net-workers", prog, 1, 256));
     } else if (matches(arg, "--scenario")) {
       out.scenario =
           checked_ident(flag_value(argc, argv, &i, "--scenario", prog),

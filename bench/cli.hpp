@@ -15,6 +15,12 @@
 //   --latency              -> POPSMR_OBS_LATENCY=1 (per-op histograms)
 //   --hw-counters          -> POPSMR_OBS_HW=1 (perf counters per phase)
 //   --trace out.trace.json -> POPSMR_TRACE (Chrome trace dumped at exit)
+//   --host 127.0.0.1       -> POPSMR_BENCH_HOST   (loadgen: remote server;
+//                             popsmr_server: bind address)
+//   --port 17979           -> POPSMR_BENCH_PORT   (0..65535; 0 = ephemeral)
+//   --connections 4        -> POPSMR_BENCH_CONNECTIONS (loadgen)
+//   --pipeline 8           -> POPSMR_BENCH_PIPELINE    (loadgen batch depth)
+//   --net-workers 2        -> POPSMR_NET_WORKERS  (server epoll workers)
 //   --scenario NAME|all    scenario selection       (bench_scenarios)
 //   --short                smoke mode: small key range, ~50 ms phases
 //   --list                 list named scenarios and exit

@@ -183,4 +183,60 @@ uint64_t bench_duration_ms(uint64_t fallback) {
   return runtime::env_u64("POPSMR_BENCH_DURATION_MS", fallback);
 }
 
+namespace {
+
+// Bounded positive-int env knob with a one-line diagnosis on garbage
+// (the CLI already validates the flag path; this guards direct exports).
+int env_bounded_int(const char* var, int fallback, int lo, int hi) {
+  const std::string raw = runtime::env_str(var, "");
+  if (raw.empty()) return fallback;
+  bool digits = raw.size() <= 10;
+  for (const char c : raw) digits = digits && c >= '0' && c <= '9';
+  const long v = digits ? std::strtol(raw.c_str(), nullptr, 10) : -1;
+  if (!digits || v < lo || v > hi) {
+    std::fprintf(stderr,
+                 "popsmr bench: %s='%s' is not an integer in [%d, %d]; "
+                 "using %d\n",
+                 var, raw.c_str(), lo, hi, fallback);
+    return fallback;
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+std::string bench_host(const std::string& fallback) {
+  const std::string raw = runtime::env_str("POPSMR_BENCH_HOST", "");
+  if (raw.empty()) return fallback;
+  bool ok = true;
+  for (const char c : raw) {
+    ok = ok && ((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.');
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "popsmr bench: POPSMR_BENCH_HOST='%s' is not a host name "
+                 "(allowed: A-Za-z0-9_-.); using %s\n",
+                 raw.c_str(), fallback.empty() ? "<none>" : fallback.c_str());
+    return fallback;
+  }
+  return raw;
+}
+
+int bench_port(int fallback) {
+  return env_bounded_int("POPSMR_BENCH_PORT", fallback, 0, 65535);
+}
+
+int bench_connections(int fallback) {
+  return env_bounded_int("POPSMR_BENCH_CONNECTIONS", fallback, 1, 4096);
+}
+
+int bench_pipeline(int fallback) {
+  return env_bounded_int("POPSMR_BENCH_PIPELINE", fallback, 1, 4096);
+}
+
+int bench_net_workers(int fallback) {
+  return env_bounded_int("POPSMR_NET_WORKERS", fallback, 1, 256);
+}
+
 }  // namespace pop::bench

@@ -98,4 +98,20 @@ std::vector<int> bench_shard_list(const std::string& fallback);
 std::vector<int> bench_pct_put_list(const std::string& fallback);
 uint64_t bench_duration_ms(uint64_t fallback);
 
+// ---- networked front-end knobs (bench_loadgen / popsmr_server) ------------
+// POPSMR_BENCH_HOST / POPSMR_BENCH_PORT: where the loadgen connects (and
+// where popsmr_server binds). Env wins over the --host/--port flags like
+// every other knob; a malformed env value (bad charset, port out of
+// [0, 65535]) is diagnosed on one stderr line and replaced by `fallback`
+// — it must not leak into connect() or a JSONL label. An empty-string
+// host fallback means "no remote server" (the loadgen spawns in-process).
+std::string bench_host(const std::string& fallback);
+int bench_port(int fallback);
+// POPSMR_BENCH_CONNECTIONS / POPSMR_BENCH_PIPELINE / POPSMR_NET_WORKERS:
+// loadgen connection count, pipelined batch depth, and server epoll
+// worker count. Non-numeric or non-positive values fall back.
+int bench_connections(int fallback);
+int bench_pipeline(int fallback);
+int bench_net_workers(int fallback);
+
 }  // namespace pop::bench

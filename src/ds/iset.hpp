@@ -59,6 +59,18 @@ class IKV {
   bool contains(uint64_t key) { return get(key, nullptr); }
   bool erase(uint64_t key) { return remove(key); }
 
+  // ---- batch bracket -------------------------------------------------------
+  // Brackets a pipelined run of point ops on the calling thread so the
+  // scheme can amortize its per-op entry cost (the epoch/era announcement
+  // fence) over the whole pipeline: one begin_op/end_op per batch instead
+  // of per op. The default no-ops keep per-op brackets, which is always
+  // correct — the batch bracket is a performance contract, never a safety
+  // one. Callers must not touch any *other* IKV between batch_begin and
+  // batch_end, and must never hold the bracket across a blocking wait
+  // (see smr/domain_base.hpp for the skip mechanism and why NBR opts out).
+  virtual void batch_begin() {}
+  virtual void batch_end() {}
+
   // Called by each worker thread before it exits so reclaimers stop
   // waiting on it (and its reservations are dropped).
   virtual void detach_thread() = 0;

@@ -33,6 +33,19 @@ class SetAdapter final : public IKV {
   bool insert(uint64_t key) override { return ds_.insert(key, key); }
   void detach_thread() override { ds_.domain().detach(); }
 
+  // One domain bracket per pipeline: ops inside the scope skip their own
+  // OpGuard (except under NBR, whose guards never skip — the outer
+  // bracket is then just an attach and the batch degenerates to per-op
+  // brackets, still correct).
+  void batch_begin() override {
+    ds_.domain().begin_op();
+    smr::batch_scope_enter();
+  }
+  void batch_end() override {
+    smr::batch_scope_exit();
+    ds_.domain().end_op();
+  }
+
   // Safe for every scheme: the bare begin_op/end_op bracket never arms
   // NBR's neutralization (no checkpoint, so its handler only acks), and
   // for the epoch/era schemes the bracket itself is the reservation that

@@ -1,0 +1,156 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "obs/obs.hpp"
+
+namespace pop::net {
+
+bool NetClient::connect_tcp(const std::string& host, uint16_t port) {
+  close_fd();
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::perror("popsmr net: socket");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "popsmr net: bad host '%s' (numeric IPv4 only)\n",
+                 host.c_str());
+    close(fd);
+    return false;
+  }
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    std::fprintf(stderr, "popsmr net: connect %s:%u failed: %s\n",
+                 host.c_str(), unsigned{port}, strerror(errno));
+    close(fd);
+    return false;
+  }
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return true;
+}
+
+void NetClient::close_fd() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool NetClient::send_all(const uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    // MSG_NOSIGNAL: a peer that closed mid-batch must surface as EPIPE,
+    // not kill the process with SIGPIPE.
+    const ssize_t w = send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool NetClient::exec_batch(const std::vector<Request>& reqs,
+                           std::vector<Response>* resps,
+                           std::vector<uint64_t>* lat_ns) {
+  if (fd_ < 0 || reqs.empty()) return false;
+  wire_.clear();
+  for (const Request& r : reqs) encode_request(r, wire_);
+
+  const uint64_t t_send = obs::now_ns();
+  if (!send_all(wire_.data(), wire_.size())) {
+    close_fd();
+    return false;
+  }
+
+  resps->clear();
+  resps->reserve(reqs.size());
+  if (lat_ns) {
+    lat_ns->clear();
+    lat_ns->reserve(reqs.size());
+  }
+  uint8_t buf[16 * 1024];
+  while (resps->size() < reqs.size()) {
+    // Drain whatever is already buffered before touching the socket.
+    const uint8_t* body = nullptr;
+    uint32_t len = 0;
+    const auto res = in_.next(&body, &len);
+    if (res == FrameSplitter::Result::kFrame) {
+      Response resp;
+      if (!decode_response(body, len, &resp)) {
+        close_fd();
+        return false;
+      }
+      resps->push_back(resp);
+      if (lat_ns) lat_ns->push_back(obs::now_ns() - t_send);
+      continue;
+    }
+    if (res == FrameSplitter::Result::kError) {
+      close_fd();
+      return false;
+    }
+    ssize_t r;
+    do {
+      r = read(fd_, buf, sizeof(buf));
+    } while (r < 0 && errno == EINTR);
+    if (r <= 0) {  // EOF or hard error mid-batch
+      close_fd();
+      return false;
+    }
+    in_.feed(buf, static_cast<size_t>(r));
+  }
+  return true;
+}
+
+bool NetClient::ping() {
+  std::vector<Response> resps;
+  if (!exec_batch({Request{Op::kPing, 0, 0}}, &resps)) return false;
+  return resps[0].status == Status::kPong;
+}
+
+bool NetClient::get(uint64_t key, uint64_t* val_out, bool* hit) {
+  std::vector<Response> resps;
+  if (!exec_batch({Request{Op::kGet, key, 0}}, &resps)) return false;
+  *hit = resps[0].status == Status::kHit;
+  if (*hit && val_out) *val_out = resps[0].val;
+  return true;
+}
+
+bool NetClient::put(uint64_t key, uint64_t val, bool* replaced) {
+  std::vector<Response> resps;
+  if (!exec_batch({Request{Op::kPut, key, val}}, &resps)) return false;
+  if (resps[0].status != Status::kInserted &&
+      resps[0].status != Status::kReplaced) {
+    return false;
+  }
+  *replaced = resps[0].status == Status::kReplaced;
+  return true;
+}
+
+bool NetClient::del(uint64_t key, bool* removed) {
+  std::vector<Response> resps;
+  if (!exec_batch({Request{Op::kDel, key, 0}}, &resps)) return false;
+  *removed = resps[0].status == Status::kHit;
+  return true;
+}
+
+}  // namespace pop::net

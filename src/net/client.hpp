@@ -1,0 +1,64 @@
+// NetClient: a blocking, pipelined client for the popsmr wire format.
+//
+// One client per connection (no internal locking — the loadgen runs one
+// client per connection thread). exec_batch() writes every request of
+// the batch back-to-back, then reads responses until all have arrived;
+// the depth of the batch IS the pipeline depth. Per-request end-to-end
+// latency is (response-decoded time) - (batch-send time), i.e. it
+// includes the server's queueing of later responses behind earlier ones
+// — exactly what a caller of a pipelined connection experiences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace pop::net {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient() { close_fd(); }
+
+  // Connects over TCP (blocking, TCP_NODELAY). False + one stderr line
+  // on resolve/connect failure.
+  bool connect_tcp(const std::string& host, uint16_t port);
+
+  // Takes ownership of an already-connected blocking socket (the other
+  // end of a socketpair in tests).
+  void adopt(int fd) {
+    close_fd();
+    fd_ = fd;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+  void close_fd();
+
+  // Sends every request, then receives exactly reqs.size() responses in
+  // order into *resps. When lat_ns is non-null it receives one entry per
+  // request: response-arrival minus batch-send, in nanoseconds. False on
+  // any socket error, EOF, or malformed response (connection is closed).
+  bool exec_batch(const std::vector<Request>& reqs,
+                  std::vector<Response>* resps,
+                  std::vector<uint64_t>* lat_ns = nullptr);
+
+  // Single-op conveniences built on exec_batch (tests, prefill).
+  bool ping();
+  bool get(uint64_t key, uint64_t* val_out, bool* hit);
+  bool put(uint64_t key, uint64_t val, bool* replaced);
+  bool del(uint64_t key, bool* removed);
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+ private:
+  bool send_all(const uint8_t* data, size_t n);
+
+  int fd_ = -1;
+  FrameSplitter in_;
+  std::vector<uint8_t> wire_;  // encode scratch, reused per batch
+};
+
+}  // namespace pop::net

@@ -1,0 +1,216 @@
+// Wire format for the networked KV front end: minimal RESP-like
+// length-prefixed binary framing, pipelined.
+//
+// Every frame is a u32 little-endian body length followed by the body.
+// Request bodies:
+//
+//   PING   [0x01]                                   len 1
+//   GET    [0x02][key u64le]                        len 9
+//   PUT    [0x03][key u64le][val u64le]             len 17
+//   DEL    [0x04][key u64le]                        len 9
+//
+// Response bodies (one per request, FIFO order — pipelining is just
+// writing N requests before reading N responses):
+//
+//   miss / absent       [0x00]                      len 1   (GET, DEL)
+//   hit                 [0x01][val u64le]           len 9   (GET)
+//   removed             [0x01]                      len 1   (DEL)
+//   inserted            [0x02]                      len 1   (PUT)
+//   replaced            [0x03]                      len 1   (PUT)
+//   pong                [0x04]                      len 1   (PING)
+//
+// A body length of zero, a length above kMaxFrameBody, an unknown
+// opcode/status, or a length that does not match the opcode's fixed
+// shape is a protocol error: the peer closes the connection. The framing
+// layer is pure (no sockets) so the torture suite can split frames at
+// every byte boundary; see tests/net/test_frame.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace pop::net {
+
+// Opcodes / statuses are one byte on the wire.
+enum class Op : uint8_t { kPing = 0x01, kGet = 0x02, kPut = 0x03, kDel = 0x04 };
+enum class Status : uint8_t {
+  kMiss = 0x00,      // GET miss / DEL absent
+  kHit = 0x01,       // GET hit (value follows) / DEL removed
+  kInserted = 0x02,  // PUT created the mapping
+  kReplaced = 0x03,  // PUT displaced (and retired) an existing node
+  kPong = 0x04,
+};
+
+// Upper bound on a body: the largest legal frame is a PUT request
+// (17 bytes). Anything above this is rejected before buffering — a
+// hostile or corrupt length prefix must not make the server allocate.
+inline constexpr uint32_t kMaxFrameBody = 17;
+inline constexpr size_t kLenPrefix = 4;
+
+struct Request {
+  Op op = Op::kPing;
+  uint64_t key = 0;
+  uint64_t val = 0;  // PUT only
+};
+
+struct Response {
+  Status status = Status::kPong;
+  uint64_t val = 0;  // GET hit only
+};
+
+inline void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+inline void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+inline uint32_t get_u32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+inline uint64_t get_u64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline void encode_request(const Request& r, std::vector<uint8_t>& out) {
+  switch (r.op) {
+    case Op::kPing:
+      put_u32(out, 1);
+      out.push_back(static_cast<uint8_t>(r.op));
+      break;
+    case Op::kGet:
+    case Op::kDel:
+      put_u32(out, 9);
+      out.push_back(static_cast<uint8_t>(r.op));
+      put_u64(out, r.key);
+      break;
+    case Op::kPut:
+      put_u32(out, 17);
+      out.push_back(static_cast<uint8_t>(r.op));
+      put_u64(out, r.key);
+      put_u64(out, r.val);
+      break;
+  }
+}
+
+inline void encode_response(const Response& r, std::vector<uint8_t>& out) {
+  if (r.status == Status::kHit) {
+    // Only GET's hit carries a value; DEL's "removed" reuses the status
+    // byte with a len-1 body, so the encoder needs the caller to say
+    // which — encode_response_removed below covers DEL.
+    put_u32(out, 9);
+    out.push_back(static_cast<uint8_t>(r.status));
+    put_u64(out, r.val);
+    return;
+  }
+  put_u32(out, 1);
+  out.push_back(static_cast<uint8_t>(r.status));
+}
+
+// DEL's positive outcome: status kHit with no value payload.
+inline void encode_response_removed(std::vector<uint8_t>& out) {
+  put_u32(out, 1);
+  out.push_back(static_cast<uint8_t>(Status::kHit));
+}
+
+// Decodes one request body. False on any malformed body (unknown opcode
+// or a length that does not match the opcode's fixed shape).
+inline bool decode_request(const uint8_t* body, uint32_t len, Request* out) {
+  if (len == 0) return false;
+  switch (static_cast<Op>(body[0])) {
+    case Op::kPing:
+      if (len != 1) return false;
+      out->op = Op::kPing;
+      return true;
+    case Op::kGet:
+    case Op::kDel:
+      if (len != 9) return false;
+      out->op = static_cast<Op>(body[0]);
+      out->key = get_u64(body + 1);
+      return true;
+    case Op::kPut:
+      if (len != 17) return false;
+      out->op = Op::kPut;
+      out->key = get_u64(body + 1);
+      out->val = get_u64(body + 9);
+      return true;
+  }
+  return false;
+}
+
+// Decodes one response body. kHit is legal at both len 1 (DEL removed)
+// and len 9 (GET hit); the client disambiguates by the op it pipelined.
+inline bool decode_response(const uint8_t* body, uint32_t len, Response* out) {
+  if (len == 0) return false;
+  const auto st = static_cast<Status>(body[0]);
+  switch (st) {
+    case Status::kHit:
+      if (len != 1 && len != 9) return false;
+      out->status = st;
+      out->val = len == 9 ? get_u64(body + 1) : 0;
+      return true;
+    case Status::kMiss:
+    case Status::kInserted:
+    case Status::kReplaced:
+    case Status::kPong:
+      if (len != 1) return false;
+      out->status = st;
+      out->val = 0;
+      return true;
+  }
+  return false;
+}
+
+// Incremental frame splitter: feed bytes as they arrive (in any
+// fragmentation), pull complete bodies out. Shared by both directions —
+// it only understands the length prefix; decode_request/decode_response
+// interpret the body. Buffered bytes are compacted lazily so a long
+// pipeline costs one memmove per drain, not per frame.
+class FrameSplitter {
+ public:
+  enum class Result { kFrame, kNeedMore, kError };
+
+  void feed(const uint8_t* data, size_t n) { buf_.insert(buf_.end(), data, data + n); }
+
+  // On kFrame, *body/*len point into the internal buffer and stay valid
+  // until the next feed()/next() call.
+  Result next(const uint8_t** body, uint32_t* len) {
+    if (buf_.size() - pos_ < kLenPrefix) {
+      compact();
+      return Result::kNeedMore;
+    }
+    const uint32_t blen = get_u32(buf_.data() + pos_);
+    if (blen == 0 || blen > kMaxFrameBody) return Result::kError;
+    if (buf_.size() - pos_ < kLenPrefix + blen) {
+      compact();
+      return Result::kNeedMore;
+    }
+    *body = buf_.data() + pos_ + kLenPrefix;
+    *len = blen;
+    pos_ += kLenPrefix + blen;
+    return Result::kFrame;
+  }
+
+  // Bytes buffered but not yet consumed (a torn tail at EOF is a
+  // truncated frame the owner may want to count as an error).
+  size_t pending() const { return buf_.size() - pos_; }
+
+ private:
+  void compact() {
+    if (pos_ == 0) return;
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;  // consumed prefix
+};
+
+}  // namespace pop::net

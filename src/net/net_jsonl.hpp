@@ -1,0 +1,96 @@
+// JSONL emission for the networked front end: one "net" summary row per
+// loadgen cell (end-to-end client-observed latency percentiles + the
+// server-visible op outcome breakdown) and one "conn" row per
+// connection (the per-connection counter/latency breakdown that makes a
+// skewed connection visible). Same rail as every other bench
+// (POPSMR_BENCH_JSON), same run_id/ts stamp, separable by `kind`.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/latency_histo.hpp"
+#include "service/service_stats.hpp"
+#include "workload/jsonl.hpp"
+
+namespace pop::net {
+
+// One loadgen cell: identity + what every connection did, rolled up.
+struct NetCellRow {
+  std::string scenario;
+  std::string ds;
+  std::string smr;
+  int workers = 0;  // server worker threads, the row's `threads` column
+  int shards = 0;
+  int connections = 0;
+  int pipeline_depth = 0;
+  double seconds = 0.0;
+  service::ConnectionStats totals;    // summed over connections
+  obs::LatencySummary latency;        // merged client-side request latency
+};
+
+struct ConnRow {
+  service::ConnectionStats stats;  // client-side view of one connection
+  obs::LatencySummary latency;
+};
+
+inline void emit_net_counter_fields(std::FILE* f,
+                                    const service::ConnectionStats& s) {
+  std::fprintf(
+      f,
+      "\"ops\":%llu,\"gets\":%llu,\"get_hits\":%llu,\"puts\":%llu,"
+      "\"put_replaced\":%llu,\"dels\":%llu,\"del_hits\":%llu,"
+      "\"pings\":%llu,\"errors\":%llu,",
+      static_cast<unsigned long long>(s.ops),
+      static_cast<unsigned long long>(s.gets),
+      static_cast<unsigned long long>(s.get_hits),
+      static_cast<unsigned long long>(s.puts),
+      static_cast<unsigned long long>(s.put_replaced),
+      static_cast<unsigned long long>(s.dels),
+      static_cast<unsigned long long>(s.del_hits),
+      static_cast<unsigned long long>(s.pings),
+      static_cast<unsigned long long>(s.protocol_errors));
+}
+
+// Appends the "net" row plus one "conn" row per connection to `path`
+// (no-op on an empty path, like every emitter on this rail).
+inline void emit_net_jsonl(const std::string& path, const NetCellRow& cell,
+                           const std::vector<ConnRow>& conns) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+
+  workload::begin_row(f, "net");
+  workload::emit_latency_fields(f, cell.latency);
+  emit_net_counter_fields(f, cell.totals);
+  const double mops =
+      cell.seconds > 0.0
+          ? static_cast<double>(cell.totals.ops) / cell.seconds / 1e6
+          : 0.0;
+  std::fprintf(
+      f,
+      "\"scenario\":\"%s\",\"ds\":\"%s\",\"smr\":\"%s\",\"threads\":%d,"
+      "\"shards\":%d,\"connections\":%d,\"pipeline_depth\":%d,"
+      "\"seconds\":%.6f,\"mops\":%.6f}\n",
+      cell.scenario.c_str(), cell.ds.c_str(), cell.smr.c_str(), cell.workers,
+      cell.shards, cell.connections, cell.pipeline_depth, cell.seconds, mops);
+
+  for (const ConnRow& c : conns) {
+    workload::begin_row(f, "conn");
+    emit_net_counter_fields(f, c.stats);
+    std::fprintf(
+        f,
+        "\"scenario\":\"%s\",\"ds\":\"%s\",\"smr\":\"%s\",\"conn\":%llu,"
+        "\"connections\":%d,\"pipeline_depth\":%d,\"p50_us\":%.3f,"
+        "\"p90_us\":%.3f,\"p99_us\":%.3f,\"p999_us\":%.3f,"
+        "\"max_us\":%.3f}\n",
+        cell.scenario.c_str(), cell.ds.c_str(), cell.smr.c_str(),
+        static_cast<unsigned long long>(c.stats.conn_id), cell.connections,
+        cell.pipeline_depth, c.latency.p50_us, c.latency.p90_us,
+        c.latency.p99_us, c.latency.p999_us, c.latency.max_us);
+  }
+  std::fclose(f);
+}
+
+}  // namespace pop::net

@@ -38,6 +38,10 @@ enum class LatOp : int {
   kPut,
   kInsert,
   kRemove,
+  // Server-side drain of one pipelined batch inside one SMR batch
+  // bracket (src/net/server.cpp) — not a point op (excluded from the
+  // merged point-op summary by kPointOpCount).
+  kNetBatch,
   kPingWave,
   kSweep,
   kReap,
@@ -53,6 +57,7 @@ inline const char* lat_op_name(LatOp op) {
     case LatOp::kPut:      return "put";
     case LatOp::kInsert:   return "insert";
     case LatOp::kRemove:   return "remove";
+    case LatOp::kNetBatch: return "net_batch";
     case LatOp::kPingWave: return "ping_wave";
     case LatOp::kSweep:    return "sweep";
     case LatOp::kReap:     return "reap";

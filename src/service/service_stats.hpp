@@ -33,6 +33,42 @@ struct ShardStats {
   smr::StatsSnapshot smr;  // the shard's own domain counters
 };
 
+// Per-connection routed-op counters kept by the networked front end
+// (src/net/): one instance per live connection, written only by the
+// worker thread that owns the connection (the same SWMR discipline as
+// every stats surface here), rolled up into the server totals and
+// emitted as kind-tagged "conn" JSONL rows by the loadgen/server rails.
+struct ConnectionStats {
+  uint64_t conn_id = 0;
+  uint64_t ops = 0;  // pings + gets + puts + dels
+  uint64_t pings = 0;
+  uint64_t gets = 0;
+  uint64_t get_hits = 0;
+  uint64_t puts = 0;
+  uint64_t put_replaced = 0;
+  uint64_t dels = 0;
+  uint64_t del_hits = 0;
+  // Pipeline shape actually observed: batches is the number of SMR batch
+  // brackets drained for this connection, max_batch the deepest one.
+  uint64_t batches = 0;
+  uint64_t max_batch = 0;
+  uint64_t protocol_errors = 0;
+
+  void accumulate(const ConnectionStats& o) {
+    ops += o.ops;
+    pings += o.pings;
+    gets += o.gets;
+    get_hits += o.get_hits;
+    puts += o.puts;
+    put_replaced += o.put_replaced;
+    dels += o.dels;
+    del_hits += o.del_hits;
+    batches += o.batches;
+    max_batch = o.max_batch > max_batch ? o.max_batch : max_batch;
+    protocol_errors += o.protocol_errors;
+  }
+};
+
 struct ServiceStats {
   std::vector<ShardStats> shards;
   smr::StatsSnapshot smr;  // roll-up across all shards

@@ -76,6 +76,21 @@ class ShardedMap final : public ds::IKV {
     return shards_[s]->insert(key);
   }
 
+  // Opens the batch bracket on every shard's domain: a pipelined batch
+  // routes by key, so any shard may be hit, and each shard owns its own
+  // domain. Costs one begin_op per shard per batch — the amortization
+  // wins when the pipeline depth exceeds the shard count, which is the
+  // regime the networked front end runs in (documented in the README).
+  void batch_begin() override {
+    for (auto& s : shards_) s->batch_begin();
+  }
+  void batch_end() override {
+    // Reverse order so scope depth unwinds symmetrically.
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+      (*it)->batch_end();
+    }
+  }
+
   // Detaches the calling thread from *every* shard's domain. Detaching
   // from a domain the thread never attached to is a no-op by scheme
   // contract, so threads that only ever touched a subset are fine.

@@ -379,18 +379,58 @@ void destroy_unpublished(T* p) noexcept {
   runtime::PoolAllocator::instance().destroy(p);
 }
 
+// ---- batch bracket ---------------------------------------------------------
+//
+// A pipelined front end (the networked KV server) drains a whole batch of
+// point operations per wakeup. Opening and closing the scheme's operation
+// bracket once per *batch* instead of once per op amortizes the per-op
+// entry cost — for the epoch/era schemes that is the seq_cst announcement
+// store, the exact cost axis the paper measures — at the price of holding
+// the entry-time reservation for the whole batch (a strictly longer
+// operation, which every scheme already supports: park_in_operation holds
+// a bare bracket for an unbounded sleep).
+//
+// Mechanism: IKV::batch_begin() opens the domain bracket(s) and bumps the
+// calling thread's batch depth; while the depth is non-zero, OpGuard
+// skips its begin_op/end_op pair because the batch's bracket is already
+// open. NBR is excluded (OpGuard never skips for kNeutralizes schemes):
+// its neutralization longjmp targets the checkpoint armed by the current
+// operation's stack frame, so the read-phase flag must be cleared by each
+// op's own end_op — a skipped end_op would leave a live checkpoint
+// pointing into a dead frame.
+//
+// Contract: between batch_begin and the matching batch_end the calling
+// thread must operate only on the map whose bracket it opened (the depth
+// is thread-global, not per-domain — an op on an unbracketed map would
+// silently skip its guard). The bracket must never be held across a
+// blocking wait (the server brackets the drain of already-buffered bytes,
+// never the epoll_wait).
+namespace detail {
+inline thread_local uint32_t tl_batch_depth = 0;
+}  // namespace detail
+
+inline void batch_scope_enter() { ++detail::tl_batch_depth; }
+inline void batch_scope_exit() { --detail::tl_batch_depth; }
+inline bool in_batch_scope() { return detail::tl_batch_depth != 0; }
+
 // RAII operation bracket used by the data structures:
 //   typename Smr::Guard g(smr);
 template <class Domain>
 class OpGuard {
  public:
-  explicit OpGuard(Domain& d) : d_(d) { d_.begin_op(); }
-  ~OpGuard() { d_.end_op(); }
+  explicit OpGuard(Domain& d)
+      : d_(d), skip_(!Domain::kNeutralizes && in_batch_scope()) {
+    if (!skip_) d_.begin_op();
+  }
+  ~OpGuard() {
+    if (!skip_) d_.end_op();
+  }
   OpGuard(const OpGuard&) = delete;
   OpGuard& operator=(const OpGuard&) = delete;
 
  private:
   Domain& d_;
+  const bool skip_;
 };
 
 }  // namespace pop::smr

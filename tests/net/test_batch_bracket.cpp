@@ -1,0 +1,146 @@
+// The SMR batch bracket (IKV::batch_begin/batch_end): ops inside a
+// bracket must behave exactly like un-bracketed ops — the bracket is an
+// amortization, never a semantics change. Covered: per-key equivalence
+// against a sequential reference across the scheme matrix (including
+// NBR, whose guards never skip and degrade to per-op brackets),
+// reclamation continuing across repeated batches, concurrent bracketed
+// pipelines on a ShardedMap, and nesting discipline.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ds/iset.hpp"
+#include "runtime/rng.hpp"
+#include "service/sharded_map.hpp"
+#include "smr/domain_base.hpp"
+#include "../support/test_util.hpp"
+
+namespace pop {
+namespace {
+
+ds::SetConfig small_cfg() {
+  ds::SetConfig cfg;
+  cfg.capacity = 512;
+  cfg.smr.retire_threshold = 16;
+  cfg.smr.epoch_freq = 4;
+  return cfg;
+}
+
+// Every scheme a batched server cell can run, including the one that
+// opts out of skipping (NBR) and the no-reclamation baseline.
+const char* kSchemes[] = {"NR",  "EBR", "IBR",          "HE",
+                          "HP",  "NBR", "HazardEraPOP", "EpochPOP"};
+
+TEST(BatchBracket, MatchesSequentialReferenceAcrossSchemes) {
+  for (const char* smr : kSchemes) {
+    for (const char* dsn : {"HMHT", "RHHT", "HML"}) {
+      auto m = ds::make_kv(dsn, smr, small_cfg());
+      ASSERT_NE(m, nullptr) << dsn << "/" << smr;
+      std::map<uint64_t, uint64_t> ref;
+      runtime::Xoshiro256 rng(0xba7c4ull ^ std::hash<std::string>{}(smr));
+      // 64 batches x 32 ops, every op checked against the reference map
+      // while the bracket is open (gets inside a batch must see the
+      // batch's own writes).
+      for (int b = 0; b < 64; ++b) {
+        m->batch_begin();
+        for (int i = 0; i < 32; ++i) {
+          const uint64_t k = rng.next_below(128);
+          switch (rng.next_below(3)) {
+            case 0: {  // put
+              const uint64_t v = rng.next();
+              const auto r = m->put(k, v);
+              const bool existed = ref.count(k) > 0;
+              EXPECT_EQ(r == ds::PutResult::kReplaced, existed)
+                  << dsn << "/" << smr;
+              ref[k] = v;
+              break;
+            }
+            case 1: {  // del
+              EXPECT_EQ(m->remove(k), ref.erase(k) > 0) << dsn << "/" << smr;
+              break;
+            }
+            default: {  // get
+              uint64_t v = 0;
+              const auto it = ref.find(k);
+              ASSERT_EQ(m->get(k, &v), it != ref.end()) << dsn << "/" << smr;
+              if (it != ref.end()) EXPECT_EQ(v, it->second);
+            }
+          }
+        }
+        m->batch_end();
+      }
+      EXPECT_EQ(m->size_slow(), ref.size()) << dsn << "/" << smr;
+      m->detach_thread();
+    }
+  }
+}
+
+// Replace-heavy batches must still reclaim: the bracket amortizes the
+// op entry, it must not suppress retire/sweep progress indefinitely.
+TEST(BatchBracket, ReclamationProgressesAcrossBatches) {
+  auto m = ds::make_kv("HMHT", "EBR", small_cfg());
+  ASSERT_NE(m, nullptr);
+  for (int b = 0; b < 200; ++b) {
+    m->batch_begin();
+    for (uint64_t k = 0; k < 32; ++k) m->put(k, static_cast<uint64_t>(b));
+    m->batch_end();
+  }
+  const auto s = m->smr_stats();
+  EXPECT_GT(s.retired, 0u);
+  EXPECT_GT(s.freed, 0u);  // sweeps ran even though ops were bracketed
+  m->detach_thread();
+}
+
+// The thread-local batch depth survives nesting (ShardedMap's bracket
+// opens every shard's scope; a depth counter, not a flag, is what makes
+// that unwind correctly).
+TEST(BatchBracket, ScopeDepthNests) {
+  EXPECT_FALSE(smr::in_batch_scope());
+  smr::batch_scope_enter();
+  smr::batch_scope_enter();
+  EXPECT_TRUE(smr::in_batch_scope());
+  smr::batch_scope_exit();
+  EXPECT_TRUE(smr::in_batch_scope());
+  smr::batch_scope_exit();
+  EXPECT_FALSE(smr::in_batch_scope());
+}
+
+TEST(BatchBracket, ShardedMapConcurrentBatches) {
+  for (const char* smr : {"EBR", "EpochPOP"}) {
+    service::ShardedMapConfig cfg;
+    cfg.shards = 4;
+    cfg.set = small_cfg();
+    auto m = service::ShardedMap::create("HMHT", smr, cfg);
+    ASSERT_NE(m, nullptr);
+    constexpr int kThreads = 4;
+    constexpr uint64_t kStripe = 1024;
+    test::run_threads(kThreads, [&](int t) {
+      // Worker-private key stripes: each thread read-checks its own
+      // writes inside open brackets while other threads batch on other
+      // stripes of the same shards concurrently.
+      const uint64_t base = static_cast<uint64_t>(t) * kStripe;
+      for (int b = 0; b < 50; ++b) {
+        m->batch_begin();
+        for (uint64_t i = 0; i < 24; ++i) {
+          const uint64_t k = base + (i * 7 + static_cast<uint64_t>(b)) % kStripe;
+          m->put(k, k ^ static_cast<uint64_t>(b));
+          uint64_t v = 0;
+          EXPECT_TRUE(m->get(k, &v));
+          EXPECT_EQ(v, k ^ static_cast<uint64_t>(b));
+          if (i % 3 == 0) m->remove(k);
+        }
+        m->batch_end();
+      }
+      m->detach_thread();
+    });
+    // Cross-check the routing layer stayed consistent: every op landed.
+    const auto stats = m->service_stats();
+    EXPECT_GT(stats.ops_total, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pop

@@ -1,0 +1,213 @@
+// Framing torture suite for the networked front end's wire format:
+// every encode/decode round-trips, torn delivery at EVERY byte boundary
+// reassembles identically, pipelined mixed batches split cleanly, and
+// each malformed-input class (zero length, oversized length, unknown
+// opcode, op/length mismatch) is rejected — never parsed into garbage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace pop::net {
+namespace {
+
+std::vector<Request> sample_pipeline() {
+  return {
+      {Op::kPing, 0, 0},
+      {Op::kPut, 7, 0xdeadbeefcafef00dull},
+      {Op::kGet, 7, 0},
+      {Op::kDel, 7, 0},
+      {Op::kGet, UINT64_MAX, 0},
+      {Op::kPut, 0, 0},
+      {Op::kDel, UINT64_MAX, 0},
+  };
+}
+
+// Splits `wire` at every position into (prefix, suffix), feeds the two
+// halves separately, and expects the identical decoded sequence.
+std::vector<Request> parse_all(const std::vector<uint8_t>& wire,
+                               size_t split_at) {
+  FrameSplitter fs;
+  std::vector<Request> out;
+  auto drain = [&] {
+    for (;;) {
+      const uint8_t* body = nullptr;
+      uint32_t len = 0;
+      const auto res = fs.next(&body, &len);
+      if (res != FrameSplitter::Result::kFrame) {
+        EXPECT_EQ(res, FrameSplitter::Result::kNeedMore);
+        return;
+      }
+      Request r;
+      ASSERT_TRUE(decode_request(body, len, &r));
+      out.push_back(r);
+    }
+  };
+  fs.feed(wire.data(), split_at);
+  drain();
+  fs.feed(wire.data() + split_at, wire.size() - split_at);
+  drain();
+  EXPECT_EQ(fs.pending(), 0u);
+  return out;
+}
+
+TEST(Frame, RequestRoundTrip) {
+  for (const Request& r : sample_pipeline()) {
+    std::vector<uint8_t> wire;
+    encode_request(r, wire);
+    FrameSplitter fs;
+    fs.feed(wire.data(), wire.size());
+    const uint8_t* body = nullptr;
+    uint32_t len = 0;
+    ASSERT_EQ(fs.next(&body, &len), FrameSplitter::Result::kFrame);
+    Request back;
+    ASSERT_TRUE(decode_request(body, len, &back));
+    EXPECT_EQ(back.op, r.op);
+    if (r.op != Op::kPing) EXPECT_EQ(back.key, r.key);
+    if (r.op == Op::kPut) EXPECT_EQ(back.val, r.val);
+    EXPECT_EQ(fs.pending(), 0u);
+  }
+}
+
+TEST(Frame, ResponseRoundTrip) {
+  std::vector<uint8_t> wire;
+  encode_response(Response{Status::kHit, 0x1122334455667788ull}, wire);
+  encode_response(Response{Status::kMiss, 0}, wire);
+  encode_response(Response{Status::kInserted, 0}, wire);
+  encode_response(Response{Status::kReplaced, 0}, wire);
+  encode_response(Response{Status::kPong, 0}, wire);
+  encode_response_removed(wire);
+
+  FrameSplitter fs;
+  fs.feed(wire.data(), wire.size());
+  const uint8_t* body = nullptr;
+  uint32_t len = 0;
+
+  Response r;
+  ASSERT_EQ(fs.next(&body, &len), FrameSplitter::Result::kFrame);
+  ASSERT_TRUE(decode_response(body, len, &r));
+  EXPECT_EQ(r.status, Status::kHit);
+  EXPECT_EQ(r.val, 0x1122334455667788ull);
+
+  const Status rest[] = {Status::kMiss, Status::kInserted, Status::kReplaced,
+                         Status::kPong, Status::kHit /* removed: no val */};
+  for (const Status want : rest) {
+    ASSERT_EQ(fs.next(&body, &len), FrameSplitter::Result::kFrame);
+    ASSERT_TRUE(decode_response(body, len, &r));
+    EXPECT_EQ(r.status, want);
+    if (want != rest[0] || len == 1) EXPECT_EQ(r.val, 0u);
+  }
+  EXPECT_EQ(fs.pending(), 0u);
+}
+
+// The core torture: a 7-op mixed pipeline torn at every byte boundary.
+TEST(Frame, TornAtEveryByteBoundary) {
+  const auto pipeline = sample_pipeline();
+  std::vector<uint8_t> wire;
+  for (const Request& r : pipeline) encode_request(r, wire);
+
+  for (size_t split = 0; split <= wire.size(); ++split) {
+    const auto parsed = parse_all(wire, split);
+    ASSERT_EQ(parsed.size(), pipeline.size()) << "split at " << split;
+    for (size_t i = 0; i < pipeline.size(); ++i) {
+      EXPECT_EQ(parsed[i].op, pipeline[i].op) << "split " << split;
+      EXPECT_EQ(parsed[i].key, pipeline[i].key) << "split " << split;
+      EXPECT_EQ(parsed[i].val, pipeline[i].val) << "split " << split;
+    }
+  }
+}
+
+// Byte-at-a-time delivery: the most fragmented stream TCP can produce.
+TEST(Frame, ByteAtATimeDelivery) {
+  const auto pipeline = sample_pipeline();
+  std::vector<uint8_t> wire;
+  for (const Request& r : pipeline) encode_request(r, wire);
+
+  FrameSplitter fs;
+  std::vector<Request> parsed;
+  for (const uint8_t b : wire) {
+    fs.feed(&b, 1);
+    for (;;) {
+      const uint8_t* body = nullptr;
+      uint32_t len = 0;
+      if (fs.next(&body, &len) != FrameSplitter::Result::kFrame) break;
+      Request r;
+      ASSERT_TRUE(decode_request(body, len, &r));
+      parsed.push_back(r);
+    }
+  }
+  ASSERT_EQ(parsed.size(), pipeline.size());
+  EXPECT_EQ(fs.pending(), 0u);
+}
+
+TEST(Frame, ZeroLengthRejected) {
+  const uint8_t wire[] = {0, 0, 0, 0};
+  FrameSplitter fs;
+  fs.feed(wire, sizeof(wire));
+  const uint8_t* body = nullptr;
+  uint32_t len = 0;
+  EXPECT_EQ(fs.next(&body, &len), FrameSplitter::Result::kError);
+}
+
+TEST(Frame, OversizedLengthRejected) {
+  // Length 2^31: a hostile prefix must be rejected before any allocation
+  // or wait-for-more-bytes, not buffered toward.
+  const uint8_t wire[] = {0, 0, 0, 0x80};
+  FrameSplitter fs;
+  fs.feed(wire, sizeof(wire));
+  const uint8_t* body = nullptr;
+  uint32_t len = 0;
+  EXPECT_EQ(fs.next(&body, &len), FrameSplitter::Result::kError);
+
+  // One past the cap too.
+  FrameSplitter fs2;
+  const uint32_t over = kMaxFrameBody + 1;
+  const uint8_t wire2[] = {static_cast<uint8_t>(over), 0, 0, 0};
+  fs2.feed(wire2, sizeof(wire2));
+  EXPECT_EQ(fs2.next(&body, &len), FrameSplitter::Result::kError);
+}
+
+TEST(Frame, UnknownOpcodeRejected) {
+  for (const uint8_t op : {uint8_t{0x00}, uint8_t{0x05}, uint8_t{0xff}}) {
+    const uint8_t body[] = {op, 0, 0, 0, 0, 0, 0, 0, 0};
+    Request r;
+    EXPECT_FALSE(decode_request(body, sizeof(body), &r)) << unsigned{op};
+    EXPECT_FALSE(decode_request(body, 1, &r)) << unsigned{op};
+  }
+}
+
+TEST(Frame, OpLengthMismatchRejected) {
+  Request r;
+  // PING with a payload, GET too short / PUT-sized, PUT truncated.
+  const uint8_t ping9[] = {0x01, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(decode_request(ping9, 9, &r));
+  const uint8_t get8[] = {0x02, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(decode_request(get8, 8, &r));
+  const uint8_t get17[17] = {0x02};
+  EXPECT_FALSE(decode_request(get17, 17, &r));
+  const uint8_t put9[] = {0x03, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(decode_request(put9, 9, &r));
+  Response resp;
+  // Responses: status-only shapes must not carry a value payload.
+  const uint8_t pong9[] = {0x04, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(decode_response(pong9, 9, &resp));
+  const uint8_t unknown[] = {0x09};
+  EXPECT_FALSE(decode_response(unknown, 1, &resp));
+}
+
+// A torn tail (truncated final frame) is visible through pending().
+TEST(Frame, TruncatedTailIsPending) {
+  std::vector<uint8_t> wire;
+  encode_request({Op::kPut, 1, 2}, wire);
+  FrameSplitter fs;
+  fs.feed(wire.data(), wire.size() - 3);
+  const uint8_t* body = nullptr;
+  uint32_t len = 0;
+  EXPECT_EQ(fs.next(&body, &len), FrameSplitter::Result::kNeedMore);
+  EXPECT_GT(fs.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace pop::net

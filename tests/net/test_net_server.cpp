@@ -1,0 +1,271 @@
+// NetServer end-to-end semantics. The anchor is the differential test:
+// the same op sequence replayed through a socketpair-adopted connection
+// and directly against an identically-configured make_service_set map
+// must produce op-for-op identical outcomes (hit/miss, inserted/
+// replaced, removed/absent, returned values) — the wire, the framing,
+// and the batch bracket must be a transparent transport around the map.
+// Also covered: pipelined batches over TCP from many connections (stats
+// roll-up matches the client's view), protocol-error close, PING, and
+// graceful stop with live connections.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ds/iset.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "runtime/rng.hpp"
+#include "service/sharded_map.hpp"
+#include "../support/test_util.hpp"
+
+namespace pop::net {
+namespace {
+
+NetServerConfig base_cfg(const std::string& ds, const std::string& smr,
+                         int shards, bool listen) {
+  NetServerConfig cfg;
+  cfg.ds = ds;
+  cfg.smr = smr;
+  cfg.shards = shards;
+  cfg.workers = 2;
+  cfg.listen = listen;
+  cfg.set.capacity = 512;
+  cfg.set.smr.retire_threshold = 16;
+  cfg.set.smr.epoch_freq = 4;
+  return cfg;
+}
+
+// Connects a NetClient to `srv` over a socketpair (no TCP, hermetic).
+bool pair_up(NetServer& srv, NetClient& client) {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return false;
+  if (!srv.adopt(fds[0])) {
+    close(fds[1]);
+    return false;
+  }
+  client.adopt(fds[1]);
+  return true;
+}
+
+// One deterministic mixed op: same distribution for both sides.
+Request nth_op(runtime::Xoshiro256& rng) {
+  const uint64_t k = rng.next_below(96);
+  switch (rng.next_below(4)) {
+    case 0:
+      return {Op::kPut, k, rng.next()};
+    case 1:
+      return {Op::kDel, k, 0};
+    default:
+      return {Op::kGet, k, 0};
+  }
+}
+
+// The differential core: replay `ops` through the wire and against the
+// reference map, asserting identical outcomes op-for-op.
+void replay_and_compare(NetClient& client, ds::IKV& ref,
+                        const std::vector<Request>& ops, int pipeline) {
+  std::vector<Request> batch;
+  std::vector<Response> resps;
+  for (size_t i = 0; i < ops.size();) {
+    batch.clear();
+    for (int p = 0; p < pipeline && i < ops.size(); ++p, ++i) {
+      batch.push_back(ops[i]);
+    }
+    ASSERT_TRUE(client.exec_batch(batch, &resps));
+    ASSERT_EQ(resps.size(), batch.size());
+    for (size_t j = 0; j < batch.size(); ++j) {
+      const Request& req = batch[j];
+      const Response& got = resps[j];
+      switch (req.op) {
+        case Op::kPing:
+          EXPECT_EQ(got.status, Status::kPong);
+          break;
+        case Op::kGet: {
+          uint64_t want_val = 0;
+          const bool want_hit = ref.get(req.key, &want_val);
+          EXPECT_EQ(got.status == Status::kHit, want_hit) << "op " << j;
+          if (want_hit) EXPECT_EQ(got.val, want_val) << "op " << j;
+          break;
+        }
+        case Op::kPut: {
+          const auto want = ref.put(req.key, req.val);
+          EXPECT_EQ(got.status, want == ds::PutResult::kReplaced
+                                    ? Status::kReplaced
+                                    : Status::kInserted)
+              << "op " << j;
+          break;
+        }
+        case Op::kDel: {
+          const bool want = ref.remove(req.key);
+          EXPECT_EQ(got.status == Status::kHit, want) << "op " << j;
+          break;
+        }
+      }
+    }
+  }
+}
+
+// Differential across the cell matrix the CI smoke sweeps, plus a
+// sharded cell (routing must not break transport transparency).
+TEST(NetServer, DifferentialAgainstDirectMap) {
+  struct Cell {
+    const char* ds;
+    const char* smr;
+    int shards;
+  };
+  const Cell cells[] = {{"HMHT", "EBR", 1},
+                        {"HMHT", "EpochPOP", 1},
+                        {"RHHT", "EBR", 1},
+                        {"RHHT", "EpochPOP", 1},
+                        {"HMHT", "EBR", 2}};
+  for (const Cell& c : cells) {
+    SCOPED_TRACE(std::string(c.ds) + "/" + c.smr + "/shards=" +
+                 std::to_string(c.shards));
+    auto cfg = base_cfg(c.ds, c.smr, c.shards, /*listen=*/false);
+    auto srv = NetServer::create(cfg);
+    ASSERT_NE(srv, nullptr);
+    srv->start();
+    auto ref = service::make_service_set(c.ds, c.smr, cfg.set, c.shards);
+    ASSERT_NE(ref, nullptr);
+
+    NetClient client;
+    ASSERT_TRUE(pair_up(*srv, client));
+
+    runtime::Xoshiro256 rng(42);
+    std::vector<Request> ops;
+    ops.push_back({Op::kPing, 0, 0});
+    for (int i = 0; i < 2000; ++i) ops.push_back(nth_op(rng));
+    replay_and_compare(client, *ref, ops, /*pipeline=*/8);
+
+    // Both sides must agree on the final population too.
+    EXPECT_EQ(srv->map().size_slow(), ref->size_slow());
+    client.close_fd();
+    srv->stop();
+    ref->detach_thread();
+  }
+}
+
+TEST(NetServer, SingleOpConveniencesOverSocketpair) {
+  auto srv = NetServer::create(base_cfg("HMHT", "EBR", 1, /*listen=*/false));
+  ASSERT_NE(srv, nullptr);
+  srv->start();
+  NetClient client;
+  ASSERT_TRUE(pair_up(*srv, client));
+
+  EXPECT_TRUE(client.ping());
+  bool hit = true, replaced = true, removed = true;
+  uint64_t val = 0;
+  ASSERT_TRUE(client.get(1, &val, &hit));
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE(client.put(1, 77, &replaced));
+  EXPECT_FALSE(replaced);
+  ASSERT_TRUE(client.put(1, 78, &replaced));
+  EXPECT_TRUE(replaced);
+  ASSERT_TRUE(client.get(1, &val, &hit));
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(val, 78u);
+  ASSERT_TRUE(client.del(1, &removed));
+  EXPECT_TRUE(removed);
+  ASSERT_TRUE(client.del(1, &removed));
+  EXPECT_FALSE(removed);
+
+  const auto s = srv->total_stats();
+  EXPECT_EQ(s.pings, 1u);
+  EXPECT_EQ(s.gets, 2u);
+  EXPECT_EQ(s.get_hits, 1u);
+  EXPECT_EQ(s.puts, 2u);
+  EXPECT_EQ(s.put_replaced, 1u);
+  EXPECT_EQ(s.dels, 2u);
+  EXPECT_EQ(s.del_hits, 1u);
+  srv->stop();
+}
+
+// Multi-connection pipelined TCP: per-connection counters roll up to
+// exactly what the clients sent, and deep pipelines exercise the
+// batch-drain path (server max_batch should reflect pipelining).
+TEST(NetServer, MultiConnectionTcpPipelines) {
+  auto cfg = base_cfg("HMHT", "EpochPOP", 2, /*listen=*/true);
+  cfg.port = 0;  // ephemeral
+  auto srv = NetServer::create(cfg);
+  ASSERT_NE(srv, nullptr);
+  srv->start();
+  ASSERT_NE(srv->port(), 0);
+
+  constexpr int kConns = 4;
+  constexpr int kBatches = 40;
+  constexpr int kDepth = 16;
+  test::run_threads(kConns, [&](int t) {
+    NetClient client;
+    ASSERT_TRUE(client.connect_tcp("127.0.0.1", srv->port()));
+    runtime::Xoshiro256 rng(static_cast<uint64_t>(t) + 1);
+    std::vector<Request> batch;
+    std::vector<Response> resps;
+    std::vector<uint64_t> lats;
+    for (int b = 0; b < kBatches; ++b) {
+      batch.clear();
+      for (int p = 0; p < kDepth; ++p) batch.push_back(nth_op(rng));
+      ASSERT_TRUE(client.exec_batch(batch, &resps, &lats));
+      ASSERT_EQ(lats.size(), batch.size());
+      for (const uint64_t ns : lats) EXPECT_GT(ns, 0u);
+    }
+  });
+
+  const auto s = srv->total_stats();
+  EXPECT_EQ(s.ops, uint64_t{kConns} * kBatches * kDepth);
+  EXPECT_EQ(s.protocol_errors, 0u);
+  EXPECT_GE(s.batches, uint64_t{kConns});  // ET may coalesce client batches
+  EXPECT_GT(s.max_batch, 1u);              // pipelining actually batched
+  EXPECT_EQ(srv->connections_accepted(), uint64_t{kConns});
+  srv->stop();
+}
+
+TEST(NetServer, ProtocolErrorClosesConnection) {
+  auto srv = NetServer::create(base_cfg("HMHT", "EBR", 1, /*listen=*/false));
+  ASSERT_NE(srv, nullptr);
+  srv->start();
+
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(srv->adopt(fds[0]));
+  // An oversized length prefix: the server must close, not buffer.
+  const uint8_t evil[] = {0xff, 0xff, 0xff, 0x7f, 0x01};
+  ASSERT_EQ(write(fds[1], evil, sizeof(evil)),
+            static_cast<ssize_t>(sizeof(evil)));
+  // The close surfaces as EOF on our side.
+  uint8_t buf[8];
+  ssize_t r;
+  do {
+    r = read(fds[1], buf, sizeof(buf));
+  } while (r < 0 && errno == EINTR);
+  EXPECT_EQ(r, 0);
+  close(fds[1]);
+
+  const auto s = srv->total_stats();
+  EXPECT_EQ(s.protocol_errors, 1u);
+  EXPECT_EQ(s.ops, 0u);  // nothing executed from the poisoned stream
+  srv->stop();
+}
+
+// Stopping with live connections must not hang or leak: workers close
+// adopted fds on the way out (peer sees EOF).
+TEST(NetServer, StopWithLiveConnections) {
+  auto srv = NetServer::create(base_cfg("HMHT", "EBR", 1, /*listen=*/false));
+  ASSERT_NE(srv, nullptr);
+  srv->start();
+  NetClient a, b;
+  ASSERT_TRUE(pair_up(*srv, a));
+  ASSERT_TRUE(pair_up(*srv, b));
+  EXPECT_TRUE(a.ping());
+  srv->stop();
+  // The server side is gone: the next exchange fails instead of hanging.
+  EXPECT_FALSE(b.ping());
+}
+
+}  // namespace
+}  // namespace pop::net

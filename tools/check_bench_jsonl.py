@@ -62,6 +62,20 @@ LAT = {
 # flag (0 when perf_event_open was refused and the counts are zero-fill).
 HW = {"ipc": NUM, "llc_miss_rate": NUM, "hw_valid": int}
 
+# Wire-op outcome counters shared by the networked front end's rows
+# (bench_loadgen): the wire has no insert/erase split, so the breakdown
+# is GET/PUT/DEL/PING plus socket- or framing-level errors.
+NET_OPS = {
+    "ops": int, "gets": int, "get_hits": int, "puts": int,
+    "put_replaced": int, "dels": int, "del_hits": int, "pings": int,
+    "errors": int,
+}
+
+# Fields that must be strictly positive where present: a "net"/"conn" row
+# claiming zero connections or a zero-deep pipeline describes a run that
+# cannot have produced the ops it reports.
+POSITIVE = {"connections", "pipeline_depth"}
+
 SCHEMAS = {
     "scenario": {
         **STAMP, **LAT, **HW,
@@ -138,6 +152,23 @@ SCHEMAS = {
         "signals_sent": int, "final_unreclaimed": int,
         "pool_live_blocks": int, "shard_ops_max": int, "shard_ops_min": int,
     },
+    # bench_loadgen's per-cell summary: end-to-end client-side latency
+    # (the lat_* block) over every connection, plus the wire-op totals.
+    "net": {
+        **STAMP, **LAT, **NET_OPS,
+        "scenario": str, "ds": str, "smr": str, "threads": int,
+        "shards": int, "connections": int, "pipeline_depth": int,
+        "seconds": NUM, "mops": NUM,
+    },
+    # bench_loadgen's per-connection row: one per client connection, with
+    # that connection's own percentile block (fairness across the
+    # multiplexed workers is visible as p99 spread between conn rows).
+    "conn": {
+        **STAMP, **NET_OPS,
+        "scenario": str, "ds": str, "smr": str, "conn": int,
+        "connections": int, "pipeline_depth": int, "p50_us": NUM,
+        "p90_us": NUM, "p99_us": NUM, "p999_us": NUM, "max_us": NUM,
+    },
     "shard": {
         **STAMP,
         "scenario": str, "ds": str, "smr": str, "threads": int,
@@ -190,6 +221,12 @@ def check_row(row, where, errors, kind_counts):
             return
         kind_counts[kind] = kind_counts.get(kind, 0) + 1
         check_fields(row, SCHEMAS[kind], f"{where} [{kind}]", errors)
+        for field in POSITIVE & SCHEMAS[kind].keys():
+            v = row.get(field)
+            if isinstance(v, int) and not isinstance(v, bool) and v <= 0:
+                errors.append(
+                    f"{where} [{kind}]: field '{field}' must be >= 1, "
+                    f"got {v}")
     elif "bench" in row:
         kind_counts["micro"] = kind_counts.get("micro", 0) + 1
         check_fields(row, MICRO_REQUIRED, f"{where} [micro]", errors)
@@ -269,8 +306,39 @@ def self_test():
         "buckets_final": 0, "gets": 1, "get_hits": 1, "inserts": 0,
         "erases": 0, "puts": 0, "put_replaced": 0, "rw_violations": 0,
     }  # deliberately lacks ipc/llc_miss_rate/hw_valid
+    net_ops_ok = {
+        "ops": 47748, "gets": 23946, "get_hits": 11786, "puts": 11753,
+        "put_replaced": 5754, "dels": 12045, "del_hits": 5992, "pings": 4,
+        "errors": 0,
+    }
+    net_ok = {
+        "kind": "net", **stamp_ok, **lat_ok, **net_ops_ok,
+        "scenario": "uniform-mixed", "ds": "HMHT", "smr": "EBR",
+        "threads": 2, "shards": 1, "connections": 4, "pipeline_depth": 8,
+        "seconds": 0.05, "mops": 0.952,
+    }
+    conn_ok = {
+        "kind": "conn", **stamp_ok, **net_ops_ok,
+        "scenario": "uniform-mixed", "ds": "HMHT", "smr": "EBR", "conn": 0,
+        "connections": 4, "pipeline_depth": 8, "p50_us": 27.7,
+        "p90_us": 51.9, "p99_us": 95.7, "p999_us": 142.3, "max_us": 152.6,
+    }
     cases = [
         ("valid shard row", shard_ok, True),
+        ("valid net row", net_ok, True),
+        ("valid conn row", conn_ok, True),
+        ("net row without the lat_* block",
+         {k: v for k, v in net_ok.items() if k != "lat_p999_us"}, False),
+        ("net row without pipeline_depth",
+         {k: v for k, v in net_ok.items() if k != "pipeline_depth"}, False),
+        ("net row with zero connections must be rejected",
+         {**net_ok, "connections": 0}, False),
+        ("conn row with non-positive pipeline_depth must be rejected",
+         {**conn_ok, "pipeline_depth": -8}, False),
+        ("conn row without per-conn percentiles",
+         {k: v for k, v in conn_ok.items() if k != "p999_us"}, False),
+        ("net errors counter as bool must be rejected",
+         {**net_ok, "errors": False}, False),
         ("valid latency row", latency_ok, True),
         ("latency op must be a string",
          {**latency_ok, "op": 7}, False),
@@ -329,8 +397,8 @@ def main():
                     metavar="KIND",
                     help="fail unless at least one row of KIND exists "
                          "(scenario, phase, mem_sample, sharded, shard, "
-                         "kv, resize, fault, pressure, latency, micro, "
-                         "workload); "
+                         "kv, resize, fault, pressure, latency, net, conn, "
+                         "micro, workload); "
                          "repeatable")
     ap.add_argument("--min-rows", type=int, default=1, metavar="N",
                     help="fail any file with fewer than N rows (default 1: "
