@@ -14,7 +14,7 @@
 //     already-running popsmr_server; one cell, labelled with the local
 //     --ds/--smr flags (the wire protocol does not carry the server's).
 //
-//   bench_loadgen --ds HMHT,RHHT --smr EBR,EpochPOP --connections 4 \
+//   bench_loadgen --ds HMHT,RHHT --smr EBR,EpochPOP --connections 4
 //                 --pipeline 8 --short --json net.jsonl
 //   bench_loadgen --scenario hotspot-churn --connections 16 --pipeline 32
 //

@@ -4,7 +4,7 @@
 // recovered unreclaimed memory around an injected stall).
 //
 //   bench_scenarios --list
-//   bench_scenarios --scenario stall-recovery --ds HML \
+//   bench_scenarios --scenario stall-recovery --ds HML
 //       --smr EBR,EpochPOP --threads 4
 //   bench_scenarios --scenario all --short        # CI smoke matrix
 //

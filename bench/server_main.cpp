@@ -2,7 +2,7 @@
 // (ds, smr, shards) ShardedMap behind the epoll server in src/net/ and
 // serves the length-prefixed wire protocol until SIGINT/SIGTERM.
 //
-//   popsmr_server --port 17979 --ds HMHT --smr EpochPOP --shards 4 \
+//   popsmr_server --port 17979 --ds HMHT --smr EpochPOP --shards 4
 //                 --net-workers 2
 //   POPSMR_BENCH_PORT=0 popsmr_server          # ephemeral port, printed
 //

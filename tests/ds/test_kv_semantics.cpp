@@ -67,7 +67,9 @@ TEST_P(KvSemantics, MatchesStdMapUnderRandomOps) {
         uint64_t got = 0;
         const auto it = ref.find(k);
         EXPECT_EQ(m->get(k, &got), it != ref.end()) << "get " << k;
-        if (it != ref.end()) EXPECT_EQ(got, it->second) << "get " << k;
+        if (it != ref.end()) {
+          EXPECT_EQ(got, it->second) << "get " << k;
+        }
       }
     }
   }

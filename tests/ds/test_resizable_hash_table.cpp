@@ -118,7 +118,9 @@ TEST_P(RhhtDifferential, MatchesStdMapThroughForcedGrowAndShrink) {
         const bool hit = s->get(k, &v);
         const auto it = ref.find(k);
         ASSERT_EQ(hit, it != ref.end());
-        if (hit) EXPECT_EQ(v, it->second);
+        if (hit) {
+          EXPECT_EQ(v, it->second);
+        }
       }
     }
   }

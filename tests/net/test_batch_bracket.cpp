@@ -66,7 +66,9 @@ TEST(BatchBracket, MatchesSequentialReferenceAcrossSchemes) {
               uint64_t v = 0;
               const auto it = ref.find(k);
               ASSERT_EQ(m->get(k, &v), it != ref.end()) << dsn << "/" << smr;
-              if (it != ref.end()) EXPECT_EQ(v, it->second);
+              if (it != ref.end()) {
+                EXPECT_EQ(v, it->second);
+              }
             }
           }
         }

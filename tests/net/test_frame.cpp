@@ -65,8 +65,12 @@ TEST(Frame, RequestRoundTrip) {
     Request back;
     ASSERT_TRUE(decode_request(body, len, &back));
     EXPECT_EQ(back.op, r.op);
-    if (r.op != Op::kPing) EXPECT_EQ(back.key, r.key);
-    if (r.op == Op::kPut) EXPECT_EQ(back.val, r.val);
+    if (r.op != Op::kPing) {
+      EXPECT_EQ(back.key, r.key);
+    }
+    if (r.op == Op::kPut) {
+      EXPECT_EQ(back.val, r.val);
+    }
     EXPECT_EQ(fs.pending(), 0u);
   }
 }
@@ -97,7 +101,9 @@ TEST(Frame, ResponseRoundTrip) {
     ASSERT_EQ(fs.next(&body, &len), FrameSplitter::Result::kFrame);
     ASSERT_TRUE(decode_response(body, len, &r));
     EXPECT_EQ(r.status, want);
-    if (want != rest[0] || len == 1) EXPECT_EQ(r.val, 0u);
+    if (want != rest[0] || len == 1) {
+      EXPECT_EQ(r.val, 0u);
+    }
   }
   EXPECT_EQ(fs.pending(), 0u);
 }

@@ -90,7 +90,9 @@ void replay_and_compare(NetClient& client, ds::IKV& ref,
           uint64_t want_val = 0;
           const bool want_hit = ref.get(req.key, &want_val);
           EXPECT_EQ(got.status == Status::kHit, want_hit) << "op " << j;
-          if (want_hit) EXPECT_EQ(got.val, want_val) << "op " << j;
+          if (want_hit) {
+            EXPECT_EQ(got.val, want_val) << "op " << j;
+          }
           break;
         }
         case Op::kPut: {

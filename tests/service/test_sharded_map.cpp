@@ -349,7 +349,9 @@ TEST(ShardedMap, OneShardMatchesPlainMapOperationForOperation) {
       const bool ph = plain->get(k, &pv);
       const bool sh = sharded->get(k, &sv);
       EXPECT_EQ(ph, sh) << "op " << i;
-      if (ph && sh) EXPECT_EQ(pv, sv) << "op " << i;
+      if (ph && sh) {
+        EXPECT_EQ(pv, sv) << "op " << i;
+      }
     }
   }
   EXPECT_EQ(plain->size_slow(), sharded->size_slow());
