@@ -35,7 +35,7 @@ class EpochPopDomain {
   static constexpr uint64_t kQuiescent = UINT64_MAX;
 
   explicit EpochPopDomain(const smr::SmrConfig& cfg = {})
-      : core_(cfg), engine_(cfg.num_slots) {}
+      : core_(cfg, kName), engine_(cfg.num_slots) {}
 
   void attach() {
     const int tid = runtime::my_tid();
@@ -58,6 +58,9 @@ class EpochPopDomain {
     if (++op_counter_[tid]->v % core_.config().epoch_freq == 0) {
       epoch_.fetch_add(1, std::memory_order_acq_rel);
     }
+    // The reservation must be globally visible before the op's reads;
+    // this store is the fence the reclaimer's ping lets a quiescent
+    // reader skip re-paying on the fast path — hence seq_cst.
     reserved_epoch_[tid]->v.store(epoch_.load(std::memory_order_acquire),
                                   std::memory_order_seq_cst);
   }

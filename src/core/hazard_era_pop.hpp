@@ -26,7 +26,7 @@ class HazardEraPopDomain {
   using Guard = smr::OpGuard<HazardEraPopDomain>;
 
   explicit HazardEraPopDomain(const smr::SmrConfig& cfg = {})
-      : core_(cfg), engine_(cfg.num_slots) {}
+      : core_(cfg, kName), engine_(cfg.num_slots) {}
 
   void attach() {
     const int tid = runtime::my_tid();

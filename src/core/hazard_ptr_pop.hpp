@@ -30,7 +30,7 @@ class HazardPtrPopDomain {
   using Guard = smr::OpGuard<HazardPtrPopDomain>;
 
   explicit HazardPtrPopDomain(const smr::SmrConfig& cfg = {})
-      : core_(cfg), engine_(cfg.num_slots) {}
+      : core_(cfg, kName), engine_(cfg.num_slots) {}
 
   void attach() {
     const int tid = runtime::my_tid();

@@ -79,6 +79,8 @@ class PopEngine final : public runtime::SignalClient {
     pt_[tid]->registry_epoch.store(
         runtime::ThreadRegistry::instance().slot_epoch(tid),
         std::memory_order_relaxed);
+    // seq_cst: attached must be ordered before the SignalBus registration
+    // so a reclaimer whose ping reaches this thread never reads false.
     pt_[tid]->attached.store(true, std::memory_order_seq_cst);
     runtime::SignalBus::instance().attach(this);
   }
@@ -131,6 +133,9 @@ class PopEngine final : public runtime::SignalClient {
       shared_.at(tid, s).store(local(tid, s).load(std::memory_order_relaxed),
                                std::memory_order_release);
     }
+    // seq_cst fence: the slot stores above must be visible before the
+    // counter bump — a reclaimer that observes the new counter value must
+    // also observe every published reservation.
     std::atomic_thread_fence(std::memory_order_seq_cst);
     pt_[tid]->publish_counter.fetch_add(1, std::memory_order_release);
   }

@@ -37,12 +37,14 @@ class SetAdapter final : public IKV {
   // OpGuard (except under NBR, whose guards never skip — the outer
   // bracket is then just an attach and the batch degenerates to per-op
   // brackets, still correct).
-  void batch_begin() override {
+  void batch_begin() override {  // smr-lint: allow(R3) the bracket itself
     ds_.domain().begin_op();
+    smr::audit::bracket_enter();
     smr::batch_scope_enter();
   }
-  void batch_end() override {
+  void batch_end() override {  // smr-lint: allow(R3) the bracket itself
     smr::batch_scope_exit();
+    smr::audit::bracket_exit();
     ds_.domain().end_op();
   }
 
@@ -53,19 +55,26 @@ class SetAdapter final : public IKV {
   void park_in_operation(const std::atomic<bool>& release) override {
     auto& d = ds_.domain();
     d.begin_op();
+    smr::audit::bracket_enter();
     while (!release.load(std::memory_order_acquire)) {
       // Sleep, don't spin: a parked victim must not steal cycles from the
       // workers whose garbage it is pinning (signals still interrupt it).
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
+    smr::audit::bracket_exit();
     d.end_op();
   }
   // Deliberately leaks the operation bracket: the thread is about to die
   // without running end_op or detach, exactly like a crash inside a
   // critical section. Whatever entry-time reservation the scheme makes
   // (epoch/era announcement, BRC phase entry, NBR attach) stays armed
-  // until the zombie reaper certifies the corpse.
-  void abandon_in_operation() override { ds_.domain().begin_op(); }
+  // until the zombie reaper certifies the corpse. The audit bracket is
+  // deliberately entered and never exited for the same reason — if the
+  // dying thread somehow reaches detach, unbalanced_bracket SHOULD fire.
+  void abandon_in_operation() override {  // smr-lint: allow(R3) crash fixture
+    ds_.domain().begin_op();
+    smr::audit::bracket_enter();
+  }
 
   smr::StatsSnapshot smr_stats() const override {
     return const_cast<DsT&>(ds_).domain().stats();

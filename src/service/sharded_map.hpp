@@ -81,10 +81,10 @@ class ShardedMap final : public ds::IKV {
   // domain. Costs one begin_op per shard per batch — the amortization
   // wins when the pipeline depth exceeds the shard count, which is the
   // regime the networked front end runs in (documented in the README).
-  void batch_begin() override {
+  void batch_begin() override {  // smr-lint: allow(R3) bracket forwarder
     for (auto& s : shards_) s->batch_begin();
   }
-  void batch_end() override {
+  void batch_end() override {  // smr-lint: allow(R3) bracket forwarder
     // Reverse order so scope depth unwinds symmetrically.
     for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
       (*it)->batch_end();

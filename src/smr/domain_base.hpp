@@ -19,6 +19,7 @@
 #include "runtime/padded.hpp"
 #include "runtime/pool_alloc.hpp"
 #include "runtime/thread_registry.hpp"
+#include "smr/audit.hpp"
 #include "smr/hp_slots.hpp"
 #include "smr/retire_list.hpp"
 #include "smr/smr_config.hpp"
@@ -27,13 +28,19 @@ namespace pop::smr {
 
 class DomainCore {
  public:
-  explicit DomainCore(const SmrConfig& cfg)
+  // `scheme` is the owning scheme's kName, carried only so contract-audit
+  // reports can name the offender (audit.hpp).
+  explicit DomainCore(const SmrConfig& cfg, const char* scheme = "?")
       : cfg_(cfg),
+        scheme_(scheme),
         pressure_bound_(cfg.pressure_bound != 0
                             ? cfg.pressure_bound
                             : runtime::env_u64("POPSMR_PRESSURE_BOUND", 0)) {}
 
   ~DomainCore() {
+    // Teardown frees everything still in flight by design; the shadow set
+    // must not outlive the domain and report those drains as violations.
+    if (audit::on()) shadow_.clear();
     // The owning data structure has been (or is being) destroyed: nothing
     // can still hold references, so drain every retire list. Only slots a
     // thread ever attached covers every retire list (threads attach on
@@ -69,6 +76,10 @@ class DomainCore {
   }
 
   void mark_detached(int tid) {
+    // Runs on the detaching thread itself, so the thread-local bracket
+    // depth it checks is the right one (the reaper clears `attached`
+    // directly, never through here — a corpse's depth is unreachable).
+    if (audit::on()) audit::check_detach(scheme_, tid);
     pt_[tid]->attached.store(false, std::memory_order_release);
   }
 
@@ -244,8 +255,21 @@ class DomainCore {
     const bool obs_timing = obs::latency_on() || obs::trace_on();
     const uint64_t obs_t0 = obs_timing ? obs::now_ns() : 0;
     runtime::PoolAllocator::FreeBatch batch;
-    const uint64_t freed =
-        pt_[tid]->retire.sweep_batch(std::forward<Pred>(can_free), batch);
+    uint64_t freed;
+    if (audit::on()) {
+      // Audit wrapper: every block the sweep decides to free leaves the
+      // shadow set here, so a recycled allocation retired again later is
+      // a fresh insert, not a false double-retire.
+      freed = pt_[tid]->retire.sweep_batch(
+          [&](Reclaimable* node) {
+            const bool f = can_free(node);
+            if (f) shadow_.on_free(scheme_, tid, node);
+            return f;
+          },
+          batch);
+    } else {
+      freed = pt_[tid]->retire.sweep_batch(std::forward<Pred>(can_free), batch);
+    }
     if (obs_timing) {
       const uint64_t dt = obs::now_ns() - obs_t0;
       obs::record_latency(obs::LatOp::kSweep, dt);
@@ -259,6 +283,7 @@ class DomainCore {
   // Appends to the caller's retire list; returns the new length.
   uint64_t retire_push(int tid, Reclaimable* n, uint64_t retire_era) {
     auto& pt = *pt_[tid];
+    if (audit::on()) shadow_.on_retire(scheme_, tid, n);
     n->retire_era = retire_era;
     pt.retire.push(n);
     pt.stats.retired += 1;
@@ -283,6 +308,9 @@ class DomainCore {
 
   RetireList& retire_list(int tid) { return pt_[tid]->retire; }
   ThreadStats& stats(int tid) { return pt_[tid]->stats; }
+
+  // Contract-audit shadow state (tests inspect in_flight counts).
+  audit::DomainShadow& audit_shadow() { return shadow_; }
 
   // Per-thread scratch for reservation scans (kMaxThreads * kMaxSlots
   // words ≈ 9 KiB). Owner-thread only; lazily allocated on the first
@@ -362,6 +390,8 @@ class DomainCore {
   }
 
   SmrConfig cfg_;
+  const char* scheme_;
+  audit::DomainShadow shadow_;
   uint64_t pressure_bound_;
   std::atomic<int> hi_tid_{-1};
   std::atomic<bool> reap_mu_{false};
@@ -418,12 +448,22 @@ inline bool in_batch_scope() { return detail::tl_batch_depth != 0; }
 template <class Domain>
 class OpGuard {
  public:
+  // smr-lint: allow(R3) — OpGuard IS the begin_op/end_op bracket.
   explicit OpGuard(Domain& d)
       : d_(d), skip_(!Domain::kNeutralizes && in_batch_scope()) {
-    if (!skip_) d_.begin_op();
+    // Audit bracket depth: a skipped guard is still inside the batch
+    // bracket (which did its own audit::bracket_enter), so only count the
+    // brackets this guard actually opens.
+    if (!skip_) {
+      d_.begin_op();
+      audit::bracket_enter();
+    }
   }
-  ~OpGuard() {
-    if (!skip_) d_.end_op();
+  ~OpGuard() {  // smr-lint: allow(R3) — closes the bracket the ctor opened
+    if (!skip_) {
+      audit::bracket_exit();
+      d_.end_op();
+    }
   }
   OpGuard(const OpGuard&) = delete;
   OpGuard& operator=(const OpGuard&) = delete;

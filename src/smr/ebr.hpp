@@ -24,7 +24,7 @@ class EbrDomain {
   using Guard = OpGuard<EbrDomain>;
   static constexpr uint64_t kQuiescent = UINT64_MAX;
 
-  explicit EbrDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+  explicit EbrDomain(const SmrConfig& cfg = {}) : core_(cfg, kName) {}
 
   void attach() {
     const int tid = runtime::my_tid();

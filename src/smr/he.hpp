@@ -24,7 +24,7 @@ class HeDomain {
   using Guard = OpGuard<HeDomain>;
   static constexpr uintptr_t kNoEra = 0;
 
-  explicit HeDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+  explicit HeDomain(const SmrConfig& cfg = {}) : core_(cfg, kName) {}
 
   void attach() {
     const int tid = runtime::my_tid();
@@ -50,7 +50,7 @@ class HeDomain {
       T* p = src.load(std::memory_order_acquire);
       const uint64_t e = era_.load(std::memory_order_acquire);
       if (e == prev) return p;  // era unchanged: reservation already covers p
-      slots_.at(tid, slot).store(e, std::memory_order_seq_cst);  // fence
+      slots_.at(tid, slot).store(e, std::memory_order_seq_cst);  // seq_cst fence
       prev = e;
     }
   }

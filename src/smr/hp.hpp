@@ -22,7 +22,7 @@ class HpDomain {
   static constexpr bool kNeutralizes = false;
   using Guard = OpGuard<HpDomain>;
 
-  explicit HpDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+  explicit HpDomain(const SmrConfig& cfg = {}) : core_(cfg, kName) {}
 
   void attach() {
     const int tid = runtime::my_tid();

@@ -25,7 +25,7 @@ class HpAsymDomain {
   static constexpr bool kNeutralizes = false;
   using Guard = OpGuard<HpAsymDomain>;
 
-  explicit HpAsymDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+  explicit HpAsymDomain(const SmrConfig& cfg = {}) : core_(cfg, kName) {}
 
   void attach() {
     const int tid = runtime::my_tid();

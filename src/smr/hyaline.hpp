@@ -31,7 +31,7 @@ class BrcDomain {
   static constexpr bool kNeutralizes = false;
   using Guard = OpGuard<BrcDomain>;
 
-  explicit BrcDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+  explicit BrcDomain(const SmrConfig& cfg = {}) : core_(cfg, kName) {}
 
   void attach() {
     const int tid = runtime::my_tid();
@@ -64,14 +64,19 @@ class BrcDomain {
     // window. Flips are reclaim-rate rare, so the loop almost never
     // iterates.
     for (;;) {
-      const uint64_t ph = phase_.load(std::memory_order_seq_cst);
+      const uint64_t ph = phase_.load(std::memory_order_seq_cst);  // seq_cst
       const uint32_t p = static_cast<uint32_t>(ph) & 1u;
+      // The announce is totally ordered against the drain's phase flip:
+      // either the flip sees this entry or the revalidation sees the
+      // flip — never neither. Hence seq_cst.
       pt.enters[p].store(pt.enters[p].load(std::memory_order_relaxed) + 1,
                          std::memory_order_seq_cst);
+      // seq_cst revalidate: must not reorder before the announce above.
       if (phase_.load(std::memory_order_seq_cst) == ph) {
         pt.my_phase = p;
         break;
       }
+      // seq_cst withdraw: keeps the stale shard balanced for its drain.
       pt.exits[p].store(pt.exits[p].load(std::memory_order_relaxed) + 1,
                         std::memory_order_seq_cst);
     }
@@ -133,9 +138,9 @@ class BrcDomain {
   void reclaim(int tid) {
     core_.reap_dead(tid, [this](int t) { balance_corpse(t); });
     for (int round = 0; round < 2; ++round) {
-      // seq_cst flip: orders against readers' announce-and-revalidate
-      // (begin_op) so a reader whose entry predates the flip is always
-      // visible to the drain below.
+      // Orders against readers' announce-and-revalidate (begin_op): a
+      // reader whose entry predates the flip is always visible to the
+      // drain below — hence seq_cst on the flip.
       const uint32_t old_phase = static_cast<uint32_t>(
           phase_.fetch_add(1, std::memory_order_seq_cst) & 1u);
       drain(old_phase, tid);

@@ -23,7 +23,7 @@ class IbrDomain {
   static constexpr bool kNeutralizes = false;
   using Guard = OpGuard<IbrDomain>;
 
-  explicit IbrDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+  explicit IbrDomain(const SmrConfig& cfg = {}) : core_(cfg, kName) {}
 
   void attach() {
     const int tid = runtime::my_tid();
@@ -42,7 +42,7 @@ class IbrDomain {
     const int tid = runtime::my_tid();
     const uint64_t e = epoch_.load(std::memory_order_acquire);
     iv_[tid]->hi.store(e, std::memory_order_relaxed);
-    iv_[tid]->lo.store(e, std::memory_order_seq_cst);  // one fence per op
+    iv_[tid]->lo.store(e, std::memory_order_seq_cst);  // seq_cst: one fence/op
   }
 
   void end_op() { quiesce(runtime::my_tid()); }
@@ -54,7 +54,7 @@ class IbrDomain {
       T* p = src.load(std::memory_order_acquire);
       const uint64_t e = epoch_.load(std::memory_order_acquire);
       if (iv_[tid]->hi.load(std::memory_order_relaxed) == e) return p;
-      iv_[tid]->hi.store(e, std::memory_order_seq_cst);  // epoch moved: fence
+      iv_[tid]->hi.store(e, std::memory_order_seq_cst);  // seq_cst refresh fence
     }
   }
   void copy_slot(int /*dst*/, int /*src*/) {}

@@ -38,7 +38,7 @@ class NbrDomain final : public runtime::SignalClient {
   static constexpr bool kNeutralizes = true;
   using Guard = OpGuard<NbrDomain>;
 
-  explicit NbrDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+  explicit NbrDomain(const SmrConfig& cfg = {}) : core_(cfg, kName) {}
 
   ~NbrDomain() { runtime::SignalBus::instance().detach(this); }
 
@@ -127,6 +127,9 @@ class NbrDomain final : public runtime::SignalClient {
       slots_.at(tid, s++).store(reinterpret_cast<uintptr_t>(r),
                                 std::memory_order_release);
     }
+    // seq_cst signal fence: compiler-only barrier — the handler runs on
+    // this same thread, so the slot stores above just must not sink past
+    // the phase change the handler inspects.
     std::atomic_signal_fence(std::memory_order_seq_cst);
     auto& pt = *pt_[tid];
     pt.write_phase.store(true, std::memory_order_relaxed);
@@ -180,6 +183,8 @@ class NbrDomain final : public runtime::SignalClient {
   void on_ping(int tid) noexcept override {
     auto& pt = *pt_[tid];
     if (!core_.attached(tid)) return;
+    // seq_cst fence: everything this thread did before taking the signal
+    // must be visible before the ack the reclaimer is waiting on.
     std::atomic_thread_fence(std::memory_order_seq_cst);
     pt.ack.fetch_add(1, std::memory_order_release);
     pt.pings += 1;

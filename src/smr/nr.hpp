@@ -18,7 +18,7 @@ class NrDomain {
   static constexpr bool kNeutralizes = false;
   using Guard = OpGuard<NrDomain>;
 
-  explicit NrDomain(const SmrConfig& cfg = {}) : core_(cfg) {}
+  explicit NrDomain(const SmrConfig& cfg = {}) : core_(cfg, kName) {}
 
   void attach() { core_.attach_if_new(runtime::my_tid()); }
   void detach() { core_.mark_detached(runtime::my_tid()); }

@@ -108,6 +108,16 @@ inline void emit_shard_rows(std::FILE* f, const ScenarioSpec& spec,
   }
 }
 
+// Contract-sanitizer column, emitted only when the auditor was armed for
+// the run: a green row then carries an explicit 0 ("checked and clean"),
+// while unaudited runs omit the column entirely rather than writing a 0
+// that would be indistinguishable from a clean audited run.
+inline void emit_audit_fields(std::FILE* f, const ScenarioResult& r) {
+  if (!r.audit_on) return;
+  std::fprintf(f, "\"audit_violations\":%llu,",
+               static_cast<unsigned long long>(r.audit_violations));
+}
+
 inline void emit_scenario_jsonl(const std::string& path,
                                 const ScenarioSpec& spec,
                                 const ScenarioResult& r) {
@@ -119,6 +129,7 @@ inline void emit_scenario_jsonl(const std::string& path,
   const char* smr = spec.smr.c_str();
 
   begin_row(f, "scenario");
+  emit_audit_fields(f, r);
   emit_latency_fields(f, r.latency_all);
   emit_hw_fields(f, r.hw);
   std::fprintf(
@@ -307,6 +318,7 @@ inline void emit_fault_jsonl(const std::string& path, const ScenarioSpec& spec,
   std::FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr) return;
   begin_row(f, "fault");
+  emit_audit_fields(f, r);
   emit_latency_fields(f, r.latency_all);
   std::fprintf(
       f,

@@ -257,6 +257,12 @@ struct ScenarioResult : OpCounts {
   obs::HwSample hw;
   bool obs_latency_on = false;
   bool obs_hw_on = false;
+  // Contract-sanitizer roll-up: violations reported by smr::audit during
+  // this run (delta, not process-lifetime total). Always 0 in a green
+  // run; audit_on records whether the sanitizer was armed at all, so a 0
+  // can be read as "checked and clean" vs "not checked".
+  uint64_t audit_violations = 0;
+  bool audit_on = false;
 };
 
 // The engine itself — ScenarioResult run_scenario(const ScenarioSpec&) —

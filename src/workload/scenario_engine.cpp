@@ -19,6 +19,7 @@
 #include "runtime/rng.hpp"
 #include "runtime/thread_registry.hpp"
 #include "service/sharded_map.hpp"
+#include "smr/audit.hpp"
 #include "workload/key_dist.hpp"
 
 namespace pop::workload {
@@ -123,6 +124,9 @@ uint64_t ms_since(Clock::time_point t0) {
 ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
   ScenarioSpec spec = spec_in;
   ScenarioResult res;
+  // Snapshot the contract-sanitizer counter so res reports this run's
+  // delta, not violations accumulated by earlier runs in the process.
+  const uint64_t audit_before = smr::audit::violations();
   res.warnings = normalize(spec);
   for (const auto& w : res.warnings) {
     std::fprintf(stderr, "popsmr scenario '%s': %s\n", spec.name.c_str(),
@@ -724,6 +728,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec_in) {
       }
     }
   }
+  res.audit_on = smr::audit::on();
+  res.audit_violations = smr::audit::violations() - audit_before;
   return res;
 }
 

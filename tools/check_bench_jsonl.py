@@ -181,6 +181,17 @@ SCHEMAS = {
     },
 }
 
+# Optional per-kind columns, present only when the producing run armed
+# the feature: the SMR contract sanitizer (POPSMR_AUDIT=1) adds
+# audit_violations to its summary rows, and an unaudited run omits the
+# column entirely rather than writing an ambiguous 0. When present the
+# value must be 0 — a green artifact never carries contract violations.
+OPTIONAL = {
+    "scenario": {"audit_violations": int},
+    "fault": {"audit_violations": int},
+}
+ZERO_REQUIRED = {"audit_violations"}
+
 # Untagged families, identified by a discriminating field.
 MICRO_REQUIRED = {**STAMP, "bench": str, "threads": int}
 LEGACY_REQUIRED = {
@@ -221,6 +232,18 @@ def check_row(row, where, errors, kind_counts):
             return
         kind_counts[kind] = kind_counts.get(kind, 0) + 1
         check_fields(row, SCHEMAS[kind], f"{where} [{kind}]", errors)
+        for field, ftype in OPTIONAL.get(kind, {}).items():
+            if field not in row:
+                continue
+            v = row[field]
+            if isinstance(v, bool) or not isinstance(v, ftype):
+                errors.append(
+                    f"{where} [{kind}]: field '{field}' has type "
+                    f"{type(v).__name__}, expected {ftype}")
+            elif field in ZERO_REQUIRED and v != 0:
+                errors.append(
+                    f"{where} [{kind}]: field '{field}' must be 0 in a "
+                    f"green artifact, got {v}")
         for field in POSITIVE & SCHEMAS[kind].keys():
             v = row.get(field)
             if isinstance(v, int) and not isinstance(v, bool) and v <= 0:
@@ -373,6 +396,13 @@ def self_test():
                              if k != "deficit"}, False),
         ("unknown kind", {"kind": "nope"}, False),
         ("non-object row", [1, 2, 3], False),
+        ("audited scenario row with explicit zero violations",
+         {**scenario_hw_missing, "ipc": 1.1, "llc_miss_rate": 0.2,
+          "hw_valid": 1, "audit_violations": 0}, True),
+        ("nonzero audit_violations must be rejected",
+         {**fault_ok, "audit_violations": 3}, False),
+        ("audit_violations as bool must be rejected",
+         {**fault_ok, "audit_violations": False}, False),
     ]
     failures = 0
     for desc, row, should_pass in cases:
